@@ -1,0 +1,163 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro/meso-benchmarks — one [Test.make] per reproduction
+      table or figure (T1..T5, F1..F3: the code that regenerates each one)
+      plus the engine-level benches the F3 ablation is built on (model
+      construction, the two C□ implementations, knowledge closures, the
+      two-step optimizer, and the operational runners).
+
+   2. The actual tables — the series EXPERIMENTS.md records, printed after
+      the timings so that `dune exec bench/main.exe` regenerates every
+      number in that file. *)
+
+open Bechamel
+open Toolkit
+
+module F = Eba.Formula
+module M = Eba.Model
+
+(* --- prebuilt fixtures so benches measure the operation, not setup --- *)
+
+let crash_params = Eba.Params.make ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Crash
+let crash4_params = Eba.Params.make ~n:4 ~t:2 ~horizon:4 ~mode:Eba.Params.Crash
+let om_params = Eba.Params.make ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Omission
+let crash_model = M.build crash_params
+let crash4_model = M.build crash4_params
+let om_model = M.build om_params
+let crash4_env = F.env crash4_model
+let nf = Eba.Nonrigid.nonfaulty crash4_model
+let e0_pts = F.eval crash4_env (F.exists_value crash4_model Eba.Value.zero)
+
+let big_crash = Eba.Params.make ~n:16 ~t:5 ~horizon:7 ~mode:Eba.Params.Crash
+let big_om = Eba.Params.make ~n:16 ~t:5 ~horizon:7 ~mode:Eba.Params.Omission
+let rng = Random.State.make [| 1234 |]
+let big_config = Eba.Config.of_bits ~n:16 0xAAAA
+let big_crash_pattern = Eba.Universe.random_pattern rng big_crash
+let big_om_pattern = Eba.Universe.random_pattern rng big_om
+
+let run_protocol (module P : Eba.Protocol_intf.PROTOCOL) params config pattern () =
+  let module R = Eba.Runner.Make (P) in
+  ignore (R.run params config pattern)
+
+let null_fmt =
+  Format.formatter_of_out_functions
+    {
+      Format.out_string = (fun _ _ _ -> ());
+      out_flush = ignore;
+      out_newline = ignore;
+      out_spaces = ignore;
+      out_indent = ignore;
+    }
+
+(* --- engine benches (basis of ablation F3) --- *)
+
+let engine_tests =
+  Test.make_grouped ~name:"engine"
+    [
+      Test.make ~name:"model-build crash n=3 t=1 T=3" (Staged.stage (fun () ->
+          ignore (M.build crash_params)));
+      Test.make ~name:"model-build omission n=3 t=1 T=3" (Staged.stage (fun () ->
+          ignore (M.build om_params)));
+      Test.make ~name:"model-build crash n=4 t=2 T=4" (Staged.stage (fun () ->
+          ignore (M.build crash4_params)));
+      Test.make ~name:"cbox fast (closure+query) n=4 t=2" (Staged.stage (fun () ->
+          ignore (Eba.Continual.cbox (Eba.Continual.closure crash4_model nf) e0_pts)));
+      Test.make ~name:"cbox naive fixpoint n=4 t=2" (Staged.stage (fun () ->
+          ignore (Eba.Continual.cbox_naive crash4_model nf e0_pts)));
+      Test.make ~name:"E_N closure n=4 t=2" (Staged.stage (fun () ->
+          ignore (Eba.Knowledge.everyone_knows crash4_model nf e0_pts)));
+      Test.make ~name:"C_N fixpoint n=4 t=2" (Staged.stage (fun () ->
+          ignore (Eba.Common.common crash4_model nf e0_pts)));
+      Test.make ~name:"two-step optimize crash n=3" (Staged.stage (fun () ->
+          let env = F.env crash_model in
+          ignore (Eba.Construct.optimize env (Eba.Kb_protocol.never_decide crash_model))));
+      Test.make ~name:"two-step optimize omission n=3" (Staged.stage (fun () ->
+          let env = F.env om_model in
+          ignore
+            (Eba.Construct.optimize ~first:Eba.Construct.One_first env
+               (Eba.Zoo.chain_zero env))));
+    ]
+
+let runner_tests =
+  Test.make_grouped ~name:"runner"
+    [
+      Test.make ~name:"P0opt run n=16 t=5"
+        (Staged.stage (run_protocol (module Eba.P0opt) big_crash big_config big_crash_pattern));
+      Test.make ~name:"P0opt+ run n=16 t=5"
+        (Staged.stage
+           (run_protocol (module Eba.P0opt_plus) big_crash big_config big_crash_pattern));
+      Test.make ~name:"FloodSet run n=16 t=5"
+        (Staged.stage (run_protocol (module Eba.Floodset) big_crash big_config big_crash_pattern));
+      Test.make ~name:"Chain0 run n=16 t=5"
+        (Staged.stage (run_protocol (module Eba.Chain0) big_om big_config big_om_pattern));
+    ]
+
+(* --- one bench per table / figure --- *)
+
+let table_tests =
+  let module T = Eba_harness.Tables in
+  Test.make_grouped ~name:"tables"
+    [
+      Test.make ~name:"T2 no-optimum" (Staged.stage (fun () -> T.t2_no_optimum null_fmt ()));
+      Test.make ~name:"T3 two-step" (Staged.stage (fun () -> T.t3_two_step null_fmt ()));
+      Test.make ~name:"T5 chain f+1 bound" (Staged.stage (fun () -> T.t5_chain_bound null_fmt ()));
+      Test.make ~name:"T6 SBA extension" (Staged.stage (fun () -> T.t6_sba_knowledge null_fmt ()));
+      Test.make ~name:"F1 decision CDF" (Staged.stage (fun () -> T.f1_decision_cdf null_fmt ()));
+      Test.make ~name:"F2 SBA gap" (Staged.stage (fun () -> T.f2_sba_gap null_fmt ()));
+    ]
+
+let heavy_table_tests =
+  (* T1 and T4 build four-processor t=2 models; keep them in their own
+     group with a small quota so the harness stays fast *)
+  let module T = Eba_harness.Tables in
+  Test.make_grouped ~name:"tables-heavy"
+    [
+      Test.make ~name:"T1 decision times" (Staged.stage (fun () ->
+          T.t1_crash_decision_times null_fmt ()));
+      Test.make ~name:"T4 crash-vs-omission" (Staged.stage (fun () ->
+          T.t4_crash_vs_omission null_fmt ()));
+      Test.make ~name:"F3 engine scaling" (Staged.stage (fun () ->
+          T.f3_engine_scaling null_fmt ()));
+    ]
+
+let benchmark ~quota tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | Some _ | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Printf.printf "  %-52s %10.3f s/run\n" name (ns /. 1e9)
+      else if ns >= 1e6 then Printf.printf "  %-52s %10.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "  %-52s %10.3f us/run\n" name (ns /. 1e3))
+    rows
+
+let () =
+  print_endline "=== bechamel: engine benches ===";
+  benchmark ~quota:0.5 engine_tests;
+  print_endline "=== bechamel: operational runners ===";
+  benchmark ~quota:0.5 runner_tests;
+  print_endline "=== bechamel: table regeneration ===";
+  benchmark ~quota:1.0 table_tests;
+  print_endline "=== bechamel: heavy table regeneration ===";
+  benchmark ~quota:1.0 heavy_table_tests;
+  print_endline "";
+  print_endline "=== reproduction experiments (E1..E12) ===";
+  Format.printf "%a@." Eba_harness.Experiments.pp_summary (Eba_harness.Experiments.all ());
+  print_endline "=== reproduction tables and series ===";
+  Format.printf "%a@." Eba_harness.Tables.all ()

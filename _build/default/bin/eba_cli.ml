@@ -1,0 +1,155 @@
+(* The `eba` command-line tool: build models, check and optimize
+   protocols, run the reproduction experiments, and print the benchmark
+   tables. *)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processors.")
+
+let t_arg =
+  Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Resilience bound (max faulty).")
+
+let horizon_arg =
+  Arg.(value & opt int 3 & info [ "horizon"; "T" ] ~docv:"H" ~doc:"Time horizon of the bounded model.")
+
+let mode_conv =
+  Arg.enum
+    [
+      ("crash", Eba.Params.Crash);
+      ("omission", Eba.Params.Omission);
+      ("general-omission", Eba.Params.General_omission);
+    ]
+
+let mode_arg =
+  Arg.(value & opt mode_conv Eba.Params.Crash & info [ "mode" ] ~docv:"MODE" ~doc:"Failure mode: crash, omission, or general-omission.")
+
+let params_term =
+  let make n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
+  Term.(const make $ n_arg $ t_arg $ horizon_arg $ mode_arg)
+
+let protocol_names =
+  [ "never"; "p0"; "p1"; "p0opt"; "f-lambda-2"; "chain0"; "f-star" ]
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) protocol_names)) "f-lambda-2"
+    & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+        ~doc:(Printf.sprintf "One of: %s." (String.concat ", " protocol_names)))
+
+let pair_of_name env = function
+  | "never" -> Eba.Kb_protocol.never_decide (Eba.Formula.model env)
+  | "p0" -> Eba.Zoo.p0 env
+  | "p1" -> Eba.Zoo.p1 env
+  | "p0opt" | "f-lambda-2" -> Eba.Zoo.f_lambda_2 env
+  | "chain0" -> Eba.Zoo.chain_zero env
+  | "f-star" -> Eba.Zoo.f_star env
+  | other -> invalid_arg ("unknown protocol " ^ other)
+
+(* --- commands --- *)
+
+let model_cmd =
+  let run params =
+    let model = Eba.Model.build params in
+    Format.printf "%a@." Eba.Model.pp_stats model;
+    Format.printf "failure patterns: %d@." (Eba.Universe.count params)
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Build a bounded model and print its size.")
+    Term.(const run $ params_term)
+
+let check_cmd =
+  let run params name =
+    let model = Eba.Model.build params in
+    let env = Eba.Formula.env model in
+    let pair = pair_of_name env name in
+    let d = Eba.Kb_protocol.decide model pair in
+    let report = Eba.Spec.check d in
+    Format.printf "%s on %a@." name Eba.Params.pp params;
+    Format.printf "  %a@." Eba.Spec.pp report;
+    Format.printf "  EBA: %b  NTA: %b  optimal (Thm 5.3): %b@."
+      (Eba.Spec.is_eba report)
+      (Eba.Spec.is_nontrivial_agreement report)
+      (Eba.Characterize.is_optimal env d)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a protocol against the EBA specification and the optimality characterization.")
+    Term.(const run $ params_term $ protocol_arg)
+
+let optimize_cmd =
+  let run params name =
+    let model = Eba.Model.build params in
+    let env = Eba.Formula.env model in
+    let pair = pair_of_name env name in
+    let opt, steps = Eba.Construct.iterate_until_fixpoint env pair in
+    let d = Eba.Kb_protocol.decide model pair in
+    let dopt = Eba.Kb_protocol.decide model opt in
+    Format.printf "optimizing %s on %a@." name Eba.Params.pp params;
+    Format.printf "  steps to fixpoint: %d@." steps;
+    Format.printf "  %a@." Eba.Dominance.pp (Eba.Dominance.compare dopt d);
+    Format.printf "  result optimal: %b, spec: %a@."
+      (Eba.Characterize.is_optimal env dopt)
+      Eba.Spec.pp
+      (Eba.Spec.check dopt)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Apply the paper's two-step optimization to a protocol and report the outcome.")
+    Term.(const run $ params_term $ protocol_arg)
+
+let experiments_cmd =
+  let ids = Eba_harness.Experiments.ids () in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun s -> (s, s)) ids))) None
+      & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E12).")
+  in
+  let run only =
+    match only with
+    | Some id ->
+        (match Eba_harness.Experiments.run id with
+        | Some o -> Format.printf "%a@." Eba_harness.Experiments.pp o
+        | None -> prerr_endline "unknown experiment")
+    | None ->
+        Format.printf "%a@." Eba_harness.Experiments.pp_summary
+          (Eba_harness.Experiments.all ())
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's propositions (E1..E12) on exhaustive models.")
+    Term.(const run $ id_arg)
+
+let tables_cmd =
+  let which =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"TABLE" ~doc:"One of t1..t5, f1..f3; default all.")
+  in
+  let run only =
+    let fmt = Format.std_formatter in
+    let module T = Eba_harness.Tables in
+    (match only with
+    | None -> T.all fmt ()
+    | Some "t1" -> T.t1_crash_decision_times fmt ()
+    | Some "t2" -> T.t2_no_optimum fmt ()
+    | Some "t3" -> T.t3_two_step fmt ()
+    | Some "t4" -> T.t4_crash_vs_omission fmt ()
+    | Some "t5" -> T.t5_chain_bound fmt ()
+    | Some "t6" -> T.t6_sba_knowledge fmt ()
+    | Some "f1" -> T.f1_decision_cdf fmt ()
+    | Some "f2" -> T.f2_sba_gap fmt ()
+    | Some "f3" -> T.f3_engine_scaling fmt ()
+    | Some other -> Format.fprintf fmt "unknown table %s@\n" other);
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the benchmark tables and figure series (EXPERIMENTS.md).")
+    Term.(const run $ which)
+
+let () =
+  let doc = "eventual Byzantine agreement via continual common knowledge" in
+  let info = Cmd.info "eba" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ model_cmd; check_cmd; optimize_cmd; experiments_cmd; tables_cmd ]))

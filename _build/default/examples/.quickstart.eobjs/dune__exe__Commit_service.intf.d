@@ -1,0 +1,1 @@
+examples/commit_service.mli:

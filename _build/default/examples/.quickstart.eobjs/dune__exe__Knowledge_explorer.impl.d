@@ -1,0 +1,1 @@
+examples/knowledge_explorer.ml: Eba Format

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eba Format Option

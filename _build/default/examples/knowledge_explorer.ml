@@ -1,0 +1,53 @@
+(* Exploring states of knowledge directly: evaluate formulas of the
+   Section 3 logic over a bounded model and watch how knowledge,
+   common knowledge, and continual common knowledge differ.
+
+     dune exec examples/knowledge_explorer.exe
+*)
+
+let count name env formula =
+  let pset = Eba.Formula.eval env formula in
+  Format.printf "  %-42s holds at %5d / %d points@." name (Eba.Pset.cardinal pset)
+    (Eba.Pset.length pset)
+
+let () =
+  let params = Eba.Params.make ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Crash in
+  let model = Eba.Model.build params in
+  let env = Eba.Formula.env model in
+  Format.printf "%a@.@." Eba.Model.pp_stats model;
+
+  let nf = Eba.Nonrigid.nonfaulty model in
+  let e0 = Eba.Formula.exists_value model Eba.Value.zero in
+
+  Format.printf "the ladder from truth to continual common knowledge (phi = \"some initial 0\"):@.";
+  count "phi" env e0;
+  count "K_0 phi" env (Eba.Formula.K (0, e0));
+  count "E_N phi" env (Eba.Formula.E (nf, e0));
+  count "E_N E_N phi" env (Eba.Formula.E (nf, Eba.Formula.E (nf, e0)));
+  count "C_N phi  (common knowledge)" env (Eba.Formula.C (nf, e0));
+  count "E□_N phi" env (Eba.Formula.Ebox (nf, e0));
+  count "C□_N phi (continual common knowledge)" env (Eba.Formula.Cbox (nf, e0));
+
+  Format.printf "@.temporal structure:@.";
+  count "◇ K_0 phi" env (Eba.Formula.Eventually (Eba.Formula.K (0, e0)));
+  count "□ K_0 phi" env (Eba.Formula.Always (Eba.Formula.K (0, e0)));
+  count "⊟ K_0 phi" env (Eba.Formula.Throughout (Eba.Formula.K (0, e0)));
+
+  (* The decision condition of the optimal protocol, spelled out: a
+     processor decides 0 exactly when it believes e0 is continual common
+     knowledge among the nonfaulty processors that have decided 1 --
+     which, here, means that set must stay empty. *)
+  Format.printf "@.the optimal decision conditions (Theorem 5.3):@.";
+  let pair = Eba.Zoo.f_lambda_2 env in
+  let n_and_o = Eba.Kb_protocol.conjoin env nf "N&O" pair.Eba.Kb_protocol.one in
+  count "B^N_0 (e0 ∧ C□_{N∧O} e0)" env
+    (Eba.Formula.B (nf, 0, Eba.Formula.And [ e0; Eba.Formula.Cbox (n_and_o, e0) ]));
+  let d = Eba.Kb_protocol.decide model pair in
+  count "decide_0(0) in F^Λ,2" env (Eba.Kb_protocol.decided_atom env d Eba.Value.zero 0);
+
+  (* And the reachability view of C□: pick a run and see how much of the
+     model is S-□-reachable from it. *)
+  Format.printf "@.S-□-reachability (runs reachable from run 0): %d / %d@."
+    (Eba.Pset.cardinal
+       (Eba.Continual.reachable_runs (Eba.Continual.closure model nf) ~run:0))
+    (Eba.Model.nruns model)

@@ -1,0 +1,1 @@
+lib/core/characterize.ml: Eba_epistemic Eba_fip Eba_sim Kb_protocol List Printf

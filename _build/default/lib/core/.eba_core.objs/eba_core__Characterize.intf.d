@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Eba_epistemic Kb_protocol

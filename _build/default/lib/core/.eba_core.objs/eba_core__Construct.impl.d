@@ -1,0 +1,1 @@
+lib/core/construct.ml: Decision_set Eba_epistemic Eba_sim Kb_protocol

@@ -1,0 +1,1 @@
+lib/core/construct.mli: Eba_epistemic Kb_protocol

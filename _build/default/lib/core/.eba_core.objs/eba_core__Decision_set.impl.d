@@ -1,0 +1,1 @@
+lib/core/decision_set.ml: Array Bytes Eba_epistemic Eba_fip

@@ -1,0 +1,1 @@
+lib/core/decision_set.mli: Eba_epistemic Eba_fip

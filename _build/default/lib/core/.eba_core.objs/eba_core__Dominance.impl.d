@@ -1,0 +1,1 @@
+lib/core/dominance.ml: Eba_fip Eba_sim Eba_util Format Kb_protocol

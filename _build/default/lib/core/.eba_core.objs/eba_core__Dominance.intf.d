@@ -1,0 +1,1 @@
+lib/core/dominance.mli: Eba_fip Format Kb_protocol

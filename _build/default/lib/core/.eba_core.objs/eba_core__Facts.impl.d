@@ -1,0 +1,1 @@
+lib/core/facts.ml: Array Eba_epistemic Eba_fip Eba_sim Eba_util Hashtbl

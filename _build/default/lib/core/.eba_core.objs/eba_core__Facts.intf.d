@@ -1,0 +1,1 @@
+lib/core/facts.mli: Eba_epistemic

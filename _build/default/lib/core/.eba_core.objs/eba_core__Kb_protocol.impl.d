@@ -1,0 +1,1 @@
+lib/core/kb_protocol.ml: Array Decision_set Eba_epistemic Eba_fip Eba_sim Eba_util Format List

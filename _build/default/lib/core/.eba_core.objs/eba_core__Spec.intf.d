@@ -1,0 +1,1 @@
+lib/core/spec.mli: Eba_fip Eba_sim Format Kb_protocol

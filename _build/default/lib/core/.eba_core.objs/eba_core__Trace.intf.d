@@ -1,0 +1,1 @@
+lib/core/trace.mli: Eba_fip Format Kb_protocol

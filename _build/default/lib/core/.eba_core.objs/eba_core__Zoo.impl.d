@@ -1,0 +1,1 @@
+lib/core/zoo.ml: Construct Decision_set Eba_epistemic Eba_fip Eba_sim Facts Kb_protocol

@@ -1,0 +1,1 @@
+lib/core/zoo.mli: Eba_epistemic Eba_fip Kb_protocol

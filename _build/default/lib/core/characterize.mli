@@ -1,0 +1,34 @@
+(** The knowledge-theoretic characterizations of Sections 4 and 5,
+    as decidable checks over a model.
+
+    - {!necessary} — Proposition 4.3: in every nontrivial agreement
+      protocol, a decision entails belief in the corresponding continual
+      common knowledge.
+    - {!sufficient_zero_anchored} / {!sufficient_one_anchored} — the two
+      alternative antecedents of Proposition 4.4 that guarantee nontrivial
+      agreement.
+    - {!is_optimal} — Theorem 5.3: a full-information nontrivial agreement
+      protocol is optimal iff decisions happen {e exactly} when the
+      continual-common-knowledge conditions hold. *)
+
+module Formula = Eba_epistemic.Formula
+
+type failure = { condition : string; point : int; proc : int }
+(** A violated condition and a witnessing point. *)
+
+val necessary : Formula.env -> Kb_protocol.decisions -> failure list
+(** Empty iff the Proposition 4.3 conditions hold (they must, for any
+    nontrivial agreement protocol — a nonempty result flags a bug or a
+    non-NTA input). *)
+
+val sufficient_zero_anchored : Formula.env -> Kb_protocol.decisions -> bool
+(** Prop 4.4 (a)+(b): deciding 0 entails [B^N_i ∃0], and deciding 1 happens
+    exactly on [B^N_i(∃1 ∧ C□_{N∧Z} ∃1)]. *)
+
+val sufficient_one_anchored : Formula.env -> Kb_protocol.decisions -> bool
+(** Prop 4.4 (a')+(b'): the symmetric variant anchored at 0. *)
+
+val is_optimal : Formula.env -> Kb_protocol.decisions -> bool
+(** The Theorem 5.3 equivalences, restricted to nonfaulty processors. *)
+
+val optimality_failures : Formula.env -> Kb_protocol.decisions -> failure list

@@ -1,0 +1,47 @@
+(** Decision sets (Section 4): for each processor [i], a set of local
+    states (views) at which [i] decides or has decided a given value.
+
+    A decision set is stored as a membership table over the model's view
+    arena; since a view records its owner, one table represents the whole
+    family [(A_i)_i].  Decision sets defined by knowledge formulas
+    ([B^N_i(...)]) are view-measurable by construction; {!of_formulas}
+    checks this as it projects point sets onto views. *)
+
+module Model = Eba_fip.Model
+module View = Eba_fip.View
+module Formula = Eba_epistemic.Formula
+module Pset = Eba_epistemic.Pset
+
+type t
+
+val empty : Model.t -> t
+val mem : t -> View.id -> bool
+(** Is the view in its owner's decision set? *)
+
+val of_views : Model.t -> (View.id -> bool) -> t
+
+val of_formulas : Formula.env -> (int -> Formula.t) -> t
+(** [of_formulas env f] builds the set [{A_i}] where [A_i] is the set of
+    views of [i] satisfying [f i].  Raises [Invalid_argument] if some
+    [f i] is not measurable in [i]'s view (two points sharing [i]'s view
+    disagreeing on [f i]). *)
+
+val of_formula : Formula.env -> Formula.t -> t
+(** One formula used for every processor (it may still mention the
+    processor through {!Formula.B} only if constant; prefer
+    {!of_formulas}). *)
+
+val points : Model.t -> t -> proc:int -> Pset.t
+(** Points [(r,m)] with [r_proc(m) ∈ A_proc]. *)
+
+val union : Model.t -> t -> t -> t
+val inter : Model.t -> t -> t -> t
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+(** Number of member views, across all processors. *)
+
+val persistent : Model.t -> t -> bool
+(** Once a processor's view is in the set, do all its later views in every
+    run stay in the set?  The paper's "decides or has decided" reading
+    presumes this; we test it rather than assume it. *)

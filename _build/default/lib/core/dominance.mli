@@ -1,0 +1,30 @@
+(** Domination between protocols (Section 2.3).
+
+    [P] dominates [P'] iff every nonfaulty processor that decides in a run
+    of [P'] also decides in the corresponding run of [P], at least as soon.
+    Both protocols' decisions must be computed over the same model, in
+    which correspondence of runs is the identity. *)
+
+module Model = Eba_fip.Model
+
+type verdict = {
+  dominates : bool;
+  strictly : bool;  (** dominates, and somewhere some nonfaulty decides sooner *)
+  witness_strict : (int * int) option;  (** (run, proc) deciding strictly sooner *)
+  witness_failure : (int * int) option;  (** (run, proc) violating domination *)
+}
+
+val compare : Kb_protocol.decisions -> Kb_protocol.decisions -> verdict
+(** [compare d d'] reports whether [d]'s protocol dominates [d']'s.
+    Raises [Invalid_argument] if the decisions come from different
+    models. *)
+
+val dominates : Kb_protocol.decisions -> Kb_protocol.decisions -> bool
+val strictly_dominates : Kb_protocol.decisions -> Kb_protocol.decisions -> bool
+
+val equivalent : Kb_protocol.decisions -> Kb_protocol.decisions -> bool
+(** Nonfaulty processors decide at the same times with the same values in
+    every run (the sense in which Theorem 6.2 identifies [P0opt] and
+    [F^Λ,2]). *)
+
+val pp : Format.formatter -> verdict -> unit

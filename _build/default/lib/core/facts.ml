@@ -1,0 +1,103 @@
+module Formula = Eba_epistemic.Formula
+module Nonrigid = Eba_epistemic.Nonrigid
+module Pset = Eba_epistemic.Pset
+module Model = Eba_fip.Model
+module Pattern = Eba_sim.Pattern
+module Config = Eba_sim.Config
+module Value = Eba_sim.Value
+module Bitset = Eba_util.Bitset
+
+let believes_faulty env ~suspect i =
+  let model = Formula.model env in
+  let n = Nonrigid.nonfaulty model in
+  Formula.eval env (Formula.B (n, i, Formula.Not (Formula.In (n, suspect))))
+
+(* All pairwise believes-faulty tables for a model, suspects indexed
+   second. *)
+let faulty_tables env =
+  let model = Formula.model env in
+  let n = Model.n model in
+  Array.init n (fun i -> Array.init n (fun j -> believes_faulty env ~suspect:j i))
+
+(* Chain reachability inside one run, as a DP over (chain member set, last
+   member).  [reach.(mask * n + last)] at level [m] means: the initial 0 of
+   some processor has travelled along a path of distinct processors [mask]
+   ending at [last], one hop per round, each hop at round [k] delivered and
+   trusted (the receiver does not believe the sender faulty at time [k]).
+   A 0-chain exists at [(r,m)] iff some level-[m] path ends at a nonfaulty
+   processor; at [m = 0] that is a nonfaulty processor holding a 0. *)
+let chains_of_run model bf ~run =
+  let n = Model.n model and horizon = Model.horizon model in
+  let r = Model.run_of_point model (Model.point model ~run ~time:0) in
+  let config = r.Model.config and pattern = r.Model.pattern in
+  let nonfaulty = Model.nonfaulty model ~run in
+  let nmasks = 1 lsl n in
+  let reach = Array.make (nmasks * n) false in
+  for j = 0 to n - 1 do
+    if Value.equal (Config.value config j) Value.Zero then
+      reach.((Bitset.to_int (Bitset.singleton j) * n) + j) <- true
+  done;
+  let chain_at = Array.make (horizon + 1) false in
+  let ends_nonfaulty level_reach =
+    let ok = ref false in
+    for mask = 0 to nmasks - 1 do
+      for last = 0 to n - 1 do
+        if level_reach.((mask * n) + last) && Bitset.mem last nonfaulty then ok := true
+      done
+    done;
+    !ok
+  in
+  let current = ref reach in
+  chain_at.(0) <- ends_nonfaulty !current;
+  for k = 1 to horizon do
+    let next = Array.make (nmasks * n) false in
+    let pid_k = Model.point model ~run ~time:k in
+    for mask = 0 to nmasks - 1 do
+      for last = 0 to n - 1 do
+        if !current.((mask * n) + last) then
+          for j' = 0 to n - 1 do
+            if
+              (not (Bitset.mem j' (Bitset.of_int mask)))
+              && Pattern.delivers pattern ~round:k ~sender:last ~receiver:j'
+              && not (Pset.mem bf.(j').(last) pid_k)
+            then next.(((mask lor (1 lsl j')) * n) + j') <- true
+          done
+      done
+    done;
+    current := next;
+    chain_at.(k) <- ends_nonfaulty !current
+  done;
+  chain_at
+
+module Model_tbl = Hashtbl.Make (struct
+  type t = Model.t
+
+  let equal = ( == )
+  let hash m = Hashtbl.hash (Model.nruns m, Model.npoints m)
+end)
+
+let caches : bool array array Model_tbl.t = Model_tbl.create 8
+
+let chain_table env =
+  let model = Formula.model env in
+  match Model_tbl.find_opt caches model with
+  | Some t -> t
+  | None ->
+      let bf = faulty_tables env in
+      let t =
+        Array.init (Model.nruns model) (fun run -> chains_of_run model bf ~run)
+      in
+      Model_tbl.add caches model t;
+      t
+
+let chain_at env ~run ~time = (chain_table env).(run).(time)
+
+let exists0_star env =
+  let model = Formula.model env in
+  let table = chain_table env in
+  Formula.atom model "exists0*" (fun pid ->
+      let run = Model.run_index_of_point model pid in
+      let time = Model.time_of_point model pid in
+      let chain = table.(run) in
+      let rec any m = m >= 0 && (chain.(m) || any (m - 1)) in
+      any time)

@@ -1,0 +1,19 @@
+(** Human-readable rendering of runs: who heard from whom at each round,
+    what every processor knows, and when decisions land.  Useful for
+    debugging protocols and for the examples' output. *)
+
+module Model = Eba_fip.Model
+
+val pp_run :
+  ?decisions:Kb_protocol.decisions ->
+  Model.t ->
+  run:int ->
+  Format.formatter ->
+  unit ->
+  unit
+(** One line per processor per time:
+    [t=2 p1 v=1 heard={0,2} knows0 D:1@2].  Faulty processors are marked
+    with [!]. *)
+
+val pp_decisions : Kb_protocol.decisions -> run:int -> Format.formatter -> unit -> unit
+(** Just the per-processor outcomes of one run. *)

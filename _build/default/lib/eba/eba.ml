@@ -1,0 +1,67 @@
+(** Eventual Byzantine agreement via continual common knowledge — the
+    public umbrella module.
+
+    This library reproduces Halpern, Moses & Waarts, "A Characterization of
+    Eventual Byzantine Agreement" (PODC 1990): bounded models of
+    synchronous systems with crash or sending-omission failures,
+    full-information protocols, the knowledge operators up to {e continual
+    common knowledge} [C□_S], the two-step construction of optimal EBA
+    protocols, and operational implementations of every protocol the paper
+    names.
+
+    Quickstart:
+    {[
+      let params = Eba.Params.make ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Crash in
+      let model  = Eba.Model.build params in
+      let env    = Eba.Formula.env model in
+      let optimal = Eba.Zoo.f_lambda_2 env in
+      let report  = Eba.Spec.check (Eba.Kb_protocol.decide model optimal) in
+      assert (Eba.Spec.is_eba report)
+    ]} *)
+
+(* foundation *)
+module Bitset = Eba_util.Bitset
+module Combi = Eba_util.Combi
+
+(* synchronous substrate *)
+module Value = Eba_sim.Value
+module Params = Eba_sim.Params
+module Config = Eba_sim.Config
+module Pattern = Eba_sim.Pattern
+module Universe = Eba_sim.Universe
+
+(* full-information layer *)
+module View = Eba_fip.View
+module Model = Eba_fip.Model
+
+(* epistemic engine *)
+module Pset = Eba_epistemic.Pset
+module Nonrigid = Eba_epistemic.Nonrigid
+module Knowledge = Eba_epistemic.Knowledge
+module Temporal = Eba_epistemic.Temporal
+module Common = Eba_epistemic.Common
+module Continual = Eba_epistemic.Continual
+module Eventual = Eba_epistemic.Eventual
+module Formula = Eba_epistemic.Formula
+
+(* the paper's contribution *)
+module Decision_set = Eba_core.Decision_set
+module Kb_protocol = Eba_core.Kb_protocol
+module Spec = Eba_core.Spec
+module Dominance = Eba_core.Dominance
+module Construct = Eba_core.Construct
+module Characterize = Eba_core.Characterize
+module Facts = Eba_core.Facts
+module Zoo = Eba_core.Zoo
+module Trace = Eba_core.Trace
+
+(* operational protocols *)
+module Protocol_intf = Eba_protocols.Protocol_intf
+module Runner = Eba_protocols.Runner
+module P0 = Eba_protocols.P0
+module P0opt = Eba_protocols.P0opt
+module P0opt_plus = Eba_protocols.P0opt_plus
+module Floodset = Eba_protocols.Floodset
+module Chain0 = Eba_protocols.Chain0
+module Fip_op = Eba_protocols.Fip_op
+module Stats = Eba_protocols.Stats

@@ -1,0 +1,1 @@
+lib/epistemic/common.ml: Eba_fip Knowledge Pset

@@ -1,0 +1,1 @@
+lib/epistemic/common.mli: Eba_fip Nonrigid Pset

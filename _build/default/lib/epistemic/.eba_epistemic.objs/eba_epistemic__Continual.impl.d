@@ -1,0 +1,1 @@
+lib/epistemic/continual.ml: Array Eba_fip Fun Knowledge Nonrigid Pset Temporal

@@ -1,0 +1,1 @@
+lib/epistemic/continual.mli: Eba_fip Nonrigid Pset

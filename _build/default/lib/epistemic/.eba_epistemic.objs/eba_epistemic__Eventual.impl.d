@@ -1,0 +1,1 @@
+lib/epistemic/eventual.ml: Eba_fip Knowledge Pset Temporal

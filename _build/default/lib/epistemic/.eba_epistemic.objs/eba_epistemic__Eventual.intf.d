@@ -1,0 +1,1 @@
+lib/epistemic/eventual.mli: Eba_fip Nonrigid Pset

@@ -1,0 +1,1 @@
+lib/epistemic/formula.ml: Common Continual Eba_fip Eba_sim Eventual Format Knowledge List Nonrigid Pset Temporal

@@ -1,0 +1,1 @@
+lib/epistemic/formula.mli: Eba_fip Eba_sim Format Nonrigid Pset

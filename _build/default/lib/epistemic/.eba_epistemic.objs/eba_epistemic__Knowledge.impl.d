@@ -1,0 +1,1 @@
+lib/epistemic/knowledge.ml: Array Bytes Eba_fip Eba_util Nonrigid Pset

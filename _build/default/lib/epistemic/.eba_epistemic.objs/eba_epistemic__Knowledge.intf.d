@@ -1,0 +1,1 @@
+lib/epistemic/knowledge.mli: Eba_fip Nonrigid Pset

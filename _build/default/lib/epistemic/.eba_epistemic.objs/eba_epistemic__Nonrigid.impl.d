@@ -1,0 +1,1 @@
+lib/epistemic/nonrigid.ml: Array Eba_fip Eba_util Format

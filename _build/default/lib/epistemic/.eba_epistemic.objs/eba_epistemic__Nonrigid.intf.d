@@ -1,0 +1,1 @@
+lib/epistemic/nonrigid.mli: Eba_fip Eba_util Format

@@ -1,0 +1,1 @@
+lib/epistemic/pset.ml: Array Format

@@ -1,0 +1,1 @@
+lib/epistemic/pset.mli: Format

@@ -1,0 +1,1 @@
+lib/epistemic/temporal.ml: Eba_fip Pset

@@ -1,0 +1,1 @@
+lib/epistemic/temporal.mli: Eba_fip Pset

@@ -1,0 +1,16 @@
+module Model = Eba_fip.Model
+
+let common model s phi =
+  let x = ref (Pset.full (Model.npoints model)) in
+  let continue = ref true in
+  while !continue do
+    let next = Knowledge.everyone_knows model s (Pset.inter phi !x) in
+    if Pset.equal next !x then continue := false else x := next
+  done;
+  !x
+
+let iterated model s k phi =
+  let rec loop k acc =
+    if k = 0 then acc else loop (k - 1) (Knowledge.everyone_knows model s acc)
+  in
+  loop k phi

@@ -1,0 +1,13 @@
+(** Common knowledge among a nonrigid set (Section 3.1): [C_S φ] is the
+    greatest fixed point of [X ↔ E_S(φ ∧ X)], computed by downward
+    iteration from the full point set. *)
+
+module Model = Eba_fip.Model
+
+val common : Model.t -> Nonrigid.t -> Pset.t -> Pset.t
+(** [C_S φ]. *)
+
+val iterated : Model.t -> Nonrigid.t -> int -> Pset.t -> Pset.t
+(** [E_S^k φ] (plain iteration, [E_S^0 φ = φ]) — the finite approximants
+    of the paper's infinite-conjunction definition, exposed for the
+    test-suite's fixed-point checks. *)

@@ -1,0 +1,83 @@
+module Model = Eba_fip.Model
+module View = Eba_fip.View
+
+let ebox model s phi =
+  Temporal.throughout model (Knowledge.everyone_knows model s phi)
+
+(* --- union-find over run indices --- *)
+
+module Uf = struct
+  type t = int array
+
+  let create n = Array.init n Fun.id
+
+  let rec find uf i = if uf.(i) = i then i else begin
+    uf.(i) <- find uf uf.(i);
+    uf.(i)
+  end
+
+  let union uf i j =
+    let ri = find uf i and rj = find uf j in
+    if ri <> rj then uf.(ri) <- rj
+end
+
+type closure = {
+  model : Model.t;
+  uf : Uf.t;
+  landable : Pset.t;  (* all points reachable as the endpoint of some step *)
+  participates : Pset.t;  (* runs (by index) having at least one landable point *)
+}
+
+let closure model s =
+  let store = model.Model.store in
+  let nv = View.size store in
+  let uf = Uf.create (Model.nruns model) in
+  let landable = Pset.create (Model.npoints model) in
+  let participates = Pset.create (Model.nruns model) in
+  for v = 0 to nv - 1 do
+    let i = View.owner store v in
+    let cell = Model.cell model v in
+    (* the lander group of [v]: points of the cell at which the owner is in S *)
+    let first = ref (-1) in
+    Array.iter
+      (fun q ->
+        if Nonrigid.mem s ~point:q ~proc:i then begin
+          Pset.add landable q;
+          let run = Model.run_index_of_point model q in
+          Pset.add participates run;
+          if !first < 0 then first := run else Uf.union uf !first run
+        end)
+      cell
+  done;
+  { model; uf; landable; participates }
+
+let cbox cl phi =
+  let model = cl.model in
+  let nruns = Model.nruns model in
+  (* a component root is bad if some landable point of the component
+     refutes φ *)
+  let bad = Array.make nruns false in
+  Pset.iter cl.landable (fun q ->
+      if not (Pset.mem phi q) then
+        bad.(Uf.find cl.uf (Model.run_index_of_point model q)) <- true);
+  let run_ok =
+    Array.init nruns (fun r ->
+        (not (Pset.mem cl.participates r)) || not bad.(Uf.find cl.uf r))
+  in
+  Pset.init (Model.npoints model) (fun pid -> run_ok.(Model.run_index_of_point model pid))
+
+let cbox_naive model s phi =
+  let x = ref (Pset.full (Model.npoints model)) in
+  let continue = ref true in
+  while !continue do
+    let next = ebox model s (Pset.inter phi !x) in
+    if Pset.equal next !x then continue := false else x := next
+  done;
+  !x
+
+let reachable_runs cl ~run =
+  let nruns = Model.nruns cl.model in
+  if not (Pset.mem cl.participates run) then Pset.create nruns
+  else
+    let root = Uf.find cl.uf run in
+    Pset.init nruns (fun r -> Pset.mem cl.participates r && Uf.find cl.uf r = root)

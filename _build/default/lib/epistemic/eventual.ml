@@ -1,0 +1,12 @@
+module Model = Eba_fip.Model
+
+let eventual_common model s phi =
+  let x = ref (Pset.full (Model.npoints model)) in
+  let continue = ref true in
+  while !continue do
+    let next =
+      Temporal.eventually model (Knowledge.everyone_knows model s (Pset.inter phi !x))
+    in
+    if Pset.equal next !x then continue := false else x := next
+  done;
+  !x

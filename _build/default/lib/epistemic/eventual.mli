@@ -1,0 +1,14 @@
+(** Eventual common knowledge (Section 3.2, after [HM90]):
+    [C◇_S φ] is the greatest fixed point of [X ↔ ◇E_S(φ ∧ X)] —
+    "eventually everyone will know that eventually everyone will know …".
+
+    The paper uses it negatively: [◇C_S φ ⇒ C◇_S φ] is valid, yet a
+    decision rule built on [C◇] (the protocol [F0] of Section 3.2) is
+    {e too weak} — it yields a correct nontrivial agreement protocol that
+    is strictly dominated by the continual-common-knowledge constructions.
+    Both facts are part of the test-suite. *)
+
+module Model = Eba_fip.Model
+
+val eventual_common : Model.t -> Nonrigid.t -> Pset.t -> Pset.t
+(** [C◇_S φ]. *)

@@ -1,0 +1,126 @@
+module Model = Eba_fip.Model
+module Value = Eba_sim.Value
+module Config = Eba_sim.Config
+
+type t =
+  | Const of bool
+  | Atom of string * Pset.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | In of Nonrigid.t * int
+  | K of int * t
+  | B of Nonrigid.t * int * t
+  | E of Nonrigid.t * t
+  | C of Nonrigid.t * t
+  | Ebox of Nonrigid.t * t
+  | Cbox of Nonrigid.t * t
+  | Cdia of Nonrigid.t * t
+  | Empty of Nonrigid.t
+  | Always of t
+  | Eventually of t
+  | Throughout of t
+
+let atom model name pred = Atom (name, Pset.init (Model.npoints model) pred)
+
+let exists_value model v =
+  let name = Format.asprintf "exists%a" Value.pp v in
+  atom model name (fun pid ->
+      Config.exists_value (Model.run_of_point model pid).Model.config v)
+
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let neg a = Not a
+
+type env = {
+  env_model : Model.t;
+  mutable closures : (Nonrigid.t * Continual.closure) list;
+}
+
+let env model = { env_model = model; closures = [] }
+let model e = e.env_model
+
+let closure_for e s =
+  match List.find_opt (fun (s', _) -> s' == s) e.closures with
+  | Some (_, cl) -> cl
+  | None ->
+      let cl = Continual.closure e.env_model s in
+      e.closures <- (s, cl) :: e.closures;
+      cl
+
+let rec eval e f =
+  let m = e.env_model in
+  let np = Model.npoints m in
+  match f with
+  | Const true -> Pset.full np
+  | Const false -> Pset.create np
+  | Atom (_, s) -> s
+  | Not f -> Pset.complement (eval e f)
+  | And fs ->
+      List.fold_left (fun acc f -> Pset.inter acc (eval e f)) (Pset.full np) fs
+  | Or fs ->
+      List.fold_left (fun acc f -> Pset.union acc (eval e f)) (Pset.create np) fs
+  | Implies (a, b) -> Pset.union (Pset.complement (eval e a)) (eval e b)
+  | Iff (a, b) ->
+      let sa = eval e a and sb = eval e b in
+      Pset.complement (Pset.union (Pset.diff sa sb) (Pset.diff sb sa))
+  | In (s, i) -> Pset.init np (fun pid -> Nonrigid.mem s ~point:pid ~proc:i)
+  | K (i, f) -> Knowledge.knows m ~proc:i (eval e f)
+  | B (s, i, f) -> Knowledge.believes m s ~proc:i (eval e f)
+  | E (s, f) -> Knowledge.everyone_knows m s (eval e f)
+  | C (s, f) -> Common.common m s (eval e f)
+  | Ebox (s, f) -> Continual.ebox m s (eval e f)
+  | Cbox (s, f) -> Continual.cbox (closure_for e s) (eval e f)
+  | Cdia (s, f) -> Eventual.eventual_common m s (eval e f)
+  | Empty s -> Pset.init np (fun pid -> Nonrigid.is_empty_at s ~point:pid)
+  | Always f -> Temporal.always m (eval e f)
+  | Eventually f -> Temporal.eventually m (eval e f)
+  | Throughout f -> Temporal.throughout m (eval e f)
+
+let holds e f ~point = Pset.mem (eval e f) point
+let valid e f = Pset.is_full (eval e f)
+
+let counterexample e f =
+  let s = eval e f in
+  Pset.choose (Pset.complement s)
+
+let rec pp fmt = function
+  | Const b -> Format.pp_print_bool fmt b
+  | Atom (name, _) -> Format.pp_print_string fmt name
+  | Not f -> Format.fprintf fmt "~%a" pp_paren f
+  | And fs -> pp_infix fmt " & " fs
+  | Or fs -> pp_infix fmt " | " fs
+  | Implies (a, b) -> Format.fprintf fmt "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "(%a <=> %a)" pp a pp b
+  | In (s, i) -> Format.fprintf fmt "%d in %a" i Nonrigid.pp s
+  | K (i, f) -> Format.fprintf fmt "K_%d %a" i pp_paren f
+  | B (s, i, f) -> Format.fprintf fmt "B[%a]_%d %a" Nonrigid.pp s i pp_paren f
+  | E (s, f) -> Format.fprintf fmt "E[%a] %a" Nonrigid.pp s pp_paren f
+  | C (s, f) -> Format.fprintf fmt "C[%a] %a" Nonrigid.pp s pp_paren f
+  | Ebox (s, f) -> Format.fprintf fmt "E□[%a] %a" Nonrigid.pp s pp_paren f
+  | Cbox (s, f) -> Format.fprintf fmt "C□[%a] %a" Nonrigid.pp s pp_paren f
+  | Cdia (s, f) -> Format.fprintf fmt "C◇[%a] %a" Nonrigid.pp s pp_paren f
+  | Empty s -> Format.fprintf fmt "(%a = {})" Nonrigid.pp s
+  | Always f -> Format.fprintf fmt "□%a" pp_paren f
+  | Eventually f -> Format.fprintf fmt "◇%a" pp_paren f
+  | Throughout f -> Format.fprintf fmt "⊟%a" pp_paren f
+
+and pp_paren fmt f =
+  match f with
+  | Const _ | Atom _ | Not _ | K _ | B _ | E _ | C _ | Ebox _ | Cbox _ | Empty _ ->
+      pp fmt f
+  | Cdia _ -> pp fmt f
+  | And _ | Or _ | Implies _ | Iff _ | In _ | Always _ | Eventually _ | Throughout _ ->
+      Format.fprintf fmt "(%a)" pp f
+
+and pp_infix fmt sep fs =
+  match fs with
+  | [] -> Format.pp_print_string fmt "true"
+  | _ ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt sep)
+           pp)
+        fs

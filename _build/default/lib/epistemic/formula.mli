@@ -1,0 +1,57 @@
+(** A little logic of knowledge and time over one model: the language of
+    Section 3, closed under the Booleans, [K_i], [B^S_i], [E_S], [C_S],
+    [E□_S], [C□_S] and the temporal operators.
+
+    Formulas are built against a fixed model (atoms are extensional point
+    sets), evaluated to point sets, and printed for diagnostics.  An
+    {!env} caches the continual-knowledge closures per nonrigid set, so
+    repeated [C□_S] evaluations with the same [S] cost one union-find. *)
+
+module Model = Eba_fip.Model
+module Value = Eba_sim.Value
+
+type t =
+  | Const of bool
+  | Atom of string * Pset.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | In of Nonrigid.t * int  (** [i ∈ S] *)
+  | K of int * t
+  | B of Nonrigid.t * int * t
+  | E of Nonrigid.t * t
+  | C of Nonrigid.t * t
+  | Ebox of Nonrigid.t * t
+  | Cbox of Nonrigid.t * t
+  | Cdia of Nonrigid.t * t  (** eventual common knowledge [C◇_S] *)
+  | Empty of Nonrigid.t  (** [S = ∅] at the current point *)
+  | Always of t  (** [□] *)
+  | Eventually of t  (** [◇] *)
+  | Throughout of t  (** [⊟] *)
+
+val atom : Model.t -> string -> (int -> bool) -> t
+(** [atom model name pred] tabulates a point predicate. *)
+
+val exists_value : Model.t -> Value.t -> t
+(** The paper's [∃0] / [∃1]. *)
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val neg : t -> t
+
+type env
+
+val env : Model.t -> env
+val model : env -> Model.t
+val eval : env -> t -> Pset.t
+val holds : env -> t -> point:int -> bool
+val valid : env -> t -> bool
+(** True iff the formula holds at every point of the model — the paper's
+    [ℛ ⊨ φ]. *)
+
+val counterexample : env -> t -> int option
+(** Some point where the formula fails, if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+module Model = Eba_fip.Model
+module View = Eba_fip.View
+module Bitset = Eba_util.Bitset
+
+(* [known_per_view model s phi] computes, for every view [v] with owner [i],
+   whether φ holds at every point of [cell v] where [i ∈ S]; this is the
+   kernel shared by [K], [B] and [E]. *)
+let known_per_view model s phi =
+  let store = model.Model.store in
+  let nv = View.size store in
+  let known = Bytes.make nv '\001' in
+  for v = 0 to nv - 1 do
+    let i = View.owner store v in
+    let cell = Model.cell model v in
+    let ok =
+      Array.for_all
+        (fun q ->
+          (match s with
+          | Some s -> not (Nonrigid.mem s ~point:q ~proc:i)
+          | None -> false)
+          || Pset.mem phi q)
+        cell
+    in
+    if not ok then Bytes.set known v '\000'
+  done;
+  known
+
+let knows model ~proc phi =
+  let known = known_per_view model None phi in
+  Pset.init (Model.npoints model) (fun pid ->
+      Bytes.get known (Model.view_at model ~point:pid ~proc) = '\001')
+
+let believes model s ~proc phi =
+  let known = known_per_view model (Some s) phi in
+  Pset.init (Model.npoints model) (fun pid ->
+      Bytes.get known (Model.view_at model ~point:pid ~proc) = '\001')
+
+let everyone_knows model s phi =
+  let known = known_per_view model (Some s) phi in
+  Pset.init (Model.npoints model) (fun pid ->
+      Bitset.for_all
+        (fun i -> Bytes.get known (Model.view_at model ~point:pid ~proc:i) = '\001')
+        (Nonrigid.members s ~point:pid))
+
+let view_measurable model ~proc phi =
+  let store = model.Model.store in
+  let nv = View.size store in
+  let status = Array.make nv 0 in
+  (* 0 = unseen, 1 = in phi, 2 = out of phi *)
+  let ok = ref true in
+  Model.iter_points model (fun pid ->
+      let v = Model.view_at model ~point:pid ~proc in
+      if View.owner store v = proc then begin
+        let s = if Pset.mem phi pid then 1 else 2 in
+        if status.(v) = 0 then status.(v) <- s
+        else if status.(v) <> s then ok := false
+      end);
+  !ok

@@ -1,0 +1,37 @@
+module Bitset = Eba_util.Bitset
+module Model = Eba_fip.Model
+module View = Eba_fip.View
+
+type t = { nr_name : string; table : int array }
+
+let name s = s.nr_name
+let members s ~point = Bitset.of_int s.table.(point)
+let mem s ~point ~proc = Bitset.mem proc (members s ~point)
+
+let of_fun model ~name f =
+  { nr_name = name; table = Array.init (Model.npoints model) (fun pid -> Bitset.to_int (f pid)) }
+
+let nonfaulty model =
+  of_fun model ~name:"N" (fun pid ->
+      Model.nonfaulty model ~run:(Model.run_index_of_point model pid))
+
+let rigid model ~name set = of_fun model ~name (fun _ -> set)
+
+let everyone model = rigid model ~name:"All" (Bitset.full (Model.n model))
+
+let restrict_by_view model ~name s pred =
+  of_fun model ~name (fun pid ->
+      Bitset.filter
+        (fun i -> pred ~proc:i ~view:(Model.view_at model ~point:pid ~proc:i))
+        (members s ~point:pid))
+
+let is_empty_at s ~point = s.table.(point) = 0
+
+let empty_everywhere_in_run model s ~run =
+  let horizon = Model.horizon model in
+  let rec loop m =
+    m > horizon || (s.table.(Model.point model ~run ~time:m) = 0 && loop (m + 1))
+  in
+  loop 0
+
+let pp fmt s = Format.fprintf fmt "%s" s.nr_name

@@ -1,0 +1,33 @@
+module Model = Eba_fip.Model
+
+let scan model combine init phi =
+  let horizon = Model.horizon model in
+  let out = Pset.create (Model.npoints model) in
+  for run = 0 to Model.nruns model - 1 do
+    (* Walk the run backwards so the suffix property is a running fold. *)
+    let acc = ref init in
+    for time = horizon downto 0 do
+      let pid = Model.point model ~run ~time in
+      acc := combine !acc (Pset.mem phi pid);
+      if !acc then Pset.add out pid
+    done
+  done;
+  out
+
+let always model phi = scan model (fun acc here -> acc && here) true phi
+let eventually model phi = scan model (fun acc here -> acc || here) false phi
+
+let throughout model phi =
+  let horizon = Model.horizon model in
+  let out = Pset.create (Model.npoints model) in
+  for run = 0 to Model.nruns model - 1 do
+    let all = ref true in
+    for time = 0 to horizon do
+      if not (Pset.mem phi (Model.point model ~run ~time)) then all := false
+    done;
+    if !all then
+      for time = 0 to horizon do
+        Pset.add out (Model.point model ~run ~time)
+      done
+  done;
+  out

@@ -1,0 +1,11 @@
+(** Temporal operators over the bounded horizon.
+
+    [always] is the standard [□] (present and future of the run),
+    [eventually] is [◇], and [throughout] is the paper's [⊟] — all times of
+    the run, past, present and future (Section 3.3). *)
+
+module Model = Eba_fip.Model
+
+val always : Model.t -> Pset.t -> Pset.t
+val eventually : Model.t -> Pset.t -> Pset.t
+val throughout : Model.t -> Pset.t -> Pset.t

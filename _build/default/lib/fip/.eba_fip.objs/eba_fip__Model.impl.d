@@ -1,0 +1,1 @@
+lib/fip/model.ml: Array Eba_sim Eba_util Format List View

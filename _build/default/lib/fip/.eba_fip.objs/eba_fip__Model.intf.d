@@ -1,0 +1,1 @@
+lib/fip/model.mli: Eba_sim Eba_util Format View

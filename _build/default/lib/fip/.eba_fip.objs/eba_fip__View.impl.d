@@ -1,0 +1,1 @@
+lib/fip/view.ml: Array Eba_sim Eba_util Format Hashtbl

@@ -1,0 +1,1 @@
+lib/fip/view.mli: Eba_sim Eba_util Format

@@ -1,0 +1,127 @@
+module Bitset = Eba_util.Bitset
+module Value = Eba_sim.Value
+module Config = Eba_sim.Config
+module Params = Eba_sim.Params
+module Pattern = Eba_sim.Pattern
+module Universe = Eba_sim.Universe
+
+type run = {
+  index : int;
+  config : Config.t;
+  pattern : Pattern.t;
+  faulty : Bitset.t;
+  views : View.id array;
+}
+
+type t = {
+  params : Params.t;
+  store : View.store;
+  runs : run array;
+  cells : int array array;
+}
+
+let simulate_run store (params : Params.t) ~index config pattern =
+  let n = params.Params.n and horizon = params.Params.horizon in
+  let views = Array.make ((horizon + 1) * n) (-1) in
+  for i = 0 to n - 1 do
+    views.(i) <- View.leaf store ~owner:i (Config.value config i)
+  done;
+  for k = 1 to horizon do
+    for i = 0 to n - 1 do
+      let received =
+        Array.init n (fun j ->
+            if j = i then None
+            else if Pattern.delivers pattern ~round:k ~sender:j ~receiver:i then
+              Some views.(((k - 1) * n) + j)
+            else None)
+      in
+      views.((k * n) + i) <-
+        View.node store ~owner:i ~prev:views.(((k - 1) * n) + i) ~received
+    done
+  done;
+  { index; config; pattern; faulty = Pattern.faulty pattern; views }
+
+let build_cells store runs horizon n =
+  let nviews = View.size store in
+  let counts = Array.make nviews 0 in
+  let npoints_per_run = horizon + 1 in
+  Array.iter
+    (fun run ->
+      for m = 0 to horizon do
+        for i = 0 to n - 1 do
+          let v = run.views.((m * n) + i) in
+          counts.(v) <- counts.(v) + 1
+        done
+      done)
+    runs;
+  let cells = Array.map (fun c -> Array.make c (-1)) counts in
+  let fill = Array.make nviews 0 in
+  Array.iter
+    (fun run ->
+      for m = 0 to horizon do
+        let pid = (run.index * npoints_per_run) + m in
+        for i = 0 to n - 1 do
+          let v = run.views.((m * n) + i) in
+          cells.(v).(fill.(v)) <- pid;
+          fill.(v) <- fill.(v) + 1
+        done
+      done)
+    runs;
+  cells
+
+let build_of_configs_patterns (params : Params.t) configs patterns =
+  let store = View.create_store ~n:params.Params.n in
+  let runs = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun config ->
+          runs := simulate_run store params ~index:!index config pattern :: !runs;
+          incr index)
+        configs)
+    patterns;
+  let runs = Array.of_list (List.rev !runs) in
+  let cells = build_cells store runs params.Params.horizon params.Params.n in
+  { params; store; runs; cells }
+
+let build ?(flavour = Universe.Exhaustive) ?configs (params : Params.t) =
+  let configs =
+    match configs with Some cs -> cs | None -> Config.all ~n:params.Params.n
+  in
+  build_of_configs_patterns params configs (Universe.patterns ~flavour params)
+
+let build_of_patterns params patterns =
+  build_of_configs_patterns params (Config.all ~n:params.Params.n) patterns
+
+let nruns m = Array.length m.runs
+let horizon m = m.params.Params.horizon
+let n m = m.params.Params.n
+let npoints m = nruns m * (horizon m + 1)
+let point m ~run ~time = (run * (horizon m + 1)) + time
+let run_index_of_point m pid = pid / (horizon m + 1)
+let run_of_point m pid = m.runs.(run_index_of_point m pid)
+let time_of_point m pid = pid mod (horizon m + 1)
+
+let view m ~run ~time ~proc = m.runs.(run).views.((time * n m) + proc)
+
+let view_at m ~point:pid ~proc =
+  let run = run_of_point m pid and time = time_of_point m pid in
+  run.views.((time * n m) + proc)
+
+let nonfaulty m ~run = Bitset.diff (Bitset.full (n m)) m.runs.(run).faulty
+let cell m v = m.cells.(v)
+
+let find_run m ~config ~pattern =
+  Array.find_opt
+    (fun r -> Config.equal r.config config && Pattern.equal r.pattern pattern)
+    m.runs
+
+let iter_points m f =
+  for pid = 0 to npoints m - 1 do
+    f pid
+  done
+
+let pp_stats fmt m =
+  Format.fprintf fmt "model %a: %d runs, %d points, %d distinct views" Params.pp
+    m.params (nruns m) (npoints m) (View.size m.store)

@@ -1,0 +1,71 @@
+(** Enumerated bounded models: the system ℛ of all runs of the
+    full-information protocol for a parameter set.
+
+    A {e run} is determined by an initial configuration and a failure
+    pattern (Prop 2.2 makes full-information states independent of any
+    decision function, so one enumerated model supports every decision
+    pair).  A {e point} is a pair (run, time); points are densely numbered
+    so the epistemic layer can work with flat bitsets over point ids. *)
+
+module Bitset = Eba_util.Bitset
+module Value = Eba_sim.Value
+module Config = Eba_sim.Config
+module Params = Eba_sim.Params
+module Pattern = Eba_sim.Pattern
+module Universe = Eba_sim.Universe
+
+type run = private {
+  index : int;
+  config : Config.t;
+  pattern : Pattern.t;
+  faulty : Bitset.t;
+  views : View.id array;  (** [views.(time * n + proc)] *)
+}
+
+type t = private {
+  params : Params.t;
+  store : View.store;
+  runs : run array;
+  cells : int array array;
+      (** [cells.(v)] = point ids whose owner's current view is [v] *)
+}
+
+val build : ?flavour:Universe.flavour -> ?configs:Config.t list -> Params.t -> t
+(** Enumerates every (configuration, pattern) pair and simulates the
+    full-information protocol under it.  [configs] defaults to all [2^n]
+    configurations — restricting it changes the system runs are drawn from
+    and hence what is known; it exists for ablation experiments only. *)
+
+val build_of_patterns : Params.t -> Pattern.t list -> t
+(** As {!build} with an explicit pattern list (all [2^n] configurations). *)
+
+val nruns : t -> int
+val npoints : t -> int
+val horizon : t -> int
+val n : t -> int
+
+val point : t -> run:int -> time:int -> int
+(** Dense point id; inverse of {!run_of_point} / {!time_of_point}. *)
+
+val run_of_point : t -> int -> run
+val run_index_of_point : t -> int -> int
+val time_of_point : t -> int -> int
+
+val view_at : t -> point:int -> proc:int -> View.id
+(** [r_i(m)]: processor [proc]'s view at the point. *)
+
+val view : t -> run:int -> time:int -> proc:int -> View.id
+
+val nonfaulty : t -> run:int -> Bitset.t
+(** The paper's 𝒩(r): processors that follow the protocol throughout. *)
+
+val cell : t -> View.id -> int array
+(** All points at which the view's owner holds exactly this view.  The point
+    the view was taken from is always a member. *)
+
+val find_run : t -> config:Config.t -> pattern:Pattern.t -> run option
+(** Locate the run with this configuration and pattern, if the model
+    contains it (used to relate operational executions to semantic runs). *)
+
+val iter_points : t -> (int -> unit) -> unit
+val pp_stats : Format.formatter -> t -> unit

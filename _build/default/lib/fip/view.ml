@@ -1,0 +1,130 @@
+module Bitset = Eba_util.Bitset
+module Value = Eba_sim.Value
+
+type id = int
+
+type meta = {
+  m_owner : int;
+  m_time : int;
+  m_init : Value.t;
+  m_prev : id;  (* -1 for leaves *)
+  m_received : id array;  (* length n for nodes, [||] for leaves; -1 = none *)
+  m_heard : Bitset.t;
+  m_knows_zero : bool;
+}
+
+type store = {
+  s_n : int;
+  tbl : (int array, id) Hashtbl.t;
+  mutable metas : meta array;
+  mutable next : int;
+}
+
+let dummy_meta =
+  {
+    m_owner = -1;
+    m_time = -1;
+    m_init = Value.Zero;
+    m_prev = -1;
+    m_received = [||];
+    m_heard = Bitset.empty;
+    m_knows_zero = false;
+  }
+
+let create_store ~n =
+  { s_n = n; tbl = Hashtbl.create 4096; metas = Array.make 1024 dummy_meta; next = 0 }
+
+let grow store =
+  let cap = Array.length store.metas in
+  if store.next >= cap then begin
+    let metas = Array.make (2 * cap) store.metas.(0) in
+    Array.blit store.metas 0 metas 0 cap;
+    store.metas <- metas
+  end
+
+let alloc store key meta =
+  match Hashtbl.find_opt store.tbl key with
+  | Some id -> id
+  | None ->
+      let id = store.next in
+      grow store;
+      store.metas.(id) <- meta;
+      store.next <- id + 1;
+      Hashtbl.add store.tbl key id;
+      id
+
+let meta store id = store.metas.(id)
+
+let leaf store ~owner value =
+  let key = [| 0; owner; Value.to_int value |] in
+  alloc store key
+    {
+      m_owner = owner;
+      m_time = 0;
+      m_init = value;
+      m_prev = -1;
+      m_received = [||];
+      m_heard = Bitset.empty;
+      m_knows_zero = Value.equal value Value.Zero;
+    }
+
+let node store ~owner ~prev ~received =
+  let p = meta store prev in
+  if p.m_owner <> owner then invalid_arg "View.node: owner mismatch with prev";
+  if Array.length received <> store.s_n then invalid_arg "View.node: received arity";
+  if received.(owner) <> None then invalid_arg "View.node: self-message";
+  let parts = Array.make store.s_n (-1) in
+  let heard = ref Bitset.empty in
+  let knows_zero = ref p.m_knows_zero in
+  Array.iteri
+    (fun j rv ->
+      match rv with
+      | None -> ()
+      | Some v ->
+          let mv = meta store v in
+          if mv.m_owner <> j then invalid_arg "View.node: received view owner mismatch";
+          if mv.m_time <> p.m_time then invalid_arg "View.node: received view time mismatch";
+          parts.(j) <- v;
+          heard := Bitset.add j !heard;
+          knows_zero := !knows_zero || mv.m_knows_zero)
+    received;
+  let key = Array.make (store.s_n + 3) 0 in
+  key.(0) <- 1;
+  key.(1) <- owner;
+  key.(2) <- prev;
+  Array.blit parts 0 key 3 store.s_n;
+  alloc store key
+    {
+      m_owner = owner;
+      m_time = p.m_time + 1;
+      m_init = p.m_init;
+      m_prev = prev;
+      m_received = parts;
+      m_heard = !heard;
+      m_knows_zero = !knows_zero;
+    }
+
+let size store = store.next
+let n store = store.s_n
+let owner store id = (meta store id).m_owner
+let time store id = (meta store id).m_time
+let init_value store id = (meta store id).m_init
+
+let prev store id =
+  let p = (meta store id).m_prev in
+  if p < 0 then None else Some p
+
+let received store id j =
+  let m = meta store id in
+  if Array.length m.m_received = 0 then None
+  else
+    let v = m.m_received.(j) in
+    if v < 0 then None else Some v
+
+let heard_from store id = (meta store id).m_heard
+let knows_zero store id = (meta store id).m_knows_zero
+
+let pp store fmt id =
+  let m = meta store id in
+  Format.fprintf fmt "p%d@%d:v%a<-%a" m.m_owner m.m_time Value.pp m.m_init Bitset.pp
+    m.m_heard

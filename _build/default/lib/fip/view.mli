@@ -1,0 +1,63 @@
+(** Hash-consed full-information views (Section 2.4).
+
+    In a full-information protocol each processor sends its entire state to
+    everybody in every round, so its state at time [m] is determined by its
+    name, its initial value, and — for each earlier round — which of the
+    other processors' states it received.  Views form a DAG; hash-consing
+    makes state identity ([r_i(m) = r'_i(m')], the heart of the knowledge
+    semantics) a constant-time integer comparison and lets millions of
+    points share structure.
+
+    Because a view records its owner's name and its depth records the time,
+    two equal views always have the same owner and time — the form the
+    paper's indistinguishability takes for full-information protocols. *)
+
+module Bitset = Eba_util.Bitset
+module Value = Eba_sim.Value
+
+type id = int
+(** A view identifier, dense in [0 .. size store - 1]. *)
+
+type store
+(** A mutable hash-consing arena for one model. *)
+
+val create_store : n:int -> store
+(** [n] is the number of processors (fixes the arity of interior nodes). *)
+
+val leaf : store -> owner:int -> Value.t -> id
+(** The time-0 view of [owner] with the given initial value. *)
+
+val node : store -> owner:int -> prev:id -> received:id option array -> id
+(** The view after one more round: [prev] is [owner]'s previous view and
+    [received.(j)] is the view [j] sent in that round, if it was delivered.
+    [received.(owner)] must be [None].  Raises [Invalid_argument] if the
+    owner or times are inconsistent. *)
+
+val size : store -> int
+(** Number of distinct views allocated so far. *)
+
+val n : store -> int
+val owner : store -> id -> int
+val time : store -> id -> int
+val init_value : store -> id -> Value.t
+(** The owner's initial value. *)
+
+val prev : store -> id -> id option
+(** The owner's view one round earlier ([None] for leaves). *)
+
+val received : store -> id -> int -> id option
+(** [received store v j] is the view received from [j] in the view's last
+    round ([None] for leaves, for [j = owner], and for omitted messages). *)
+
+val heard_from : store -> id -> Bitset.t
+(** Senders whose message arrived in the view's last round (empty for
+    leaves). *)
+
+val knows_zero : store -> id -> bool
+(** Structural test: does the view contain an initial value of 0 anywhere?
+    For crash and sending-omission full-information systems this coincides
+    with [K_i ∃0]; the coincidence is property-tested, not assumed, by the
+    epistemic layer's test-suite. *)
+
+val pp : store -> Format.formatter -> id -> unit
+(** Concise rendering, e.g. [p2@3:v1<-{0,1}]. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Eba Format Hashtbl List Option Printf

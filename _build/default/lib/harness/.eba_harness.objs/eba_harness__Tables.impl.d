@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Eba Float Format List Random Unix

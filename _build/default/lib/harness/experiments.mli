@@ -1,0 +1,27 @@
+(** The reproduction experiments (DESIGN.md E1–E12): one entry per
+    proposition/theorem of the paper, each returning a structured verdict
+    that the CLI prints and EXPERIMENTS.md records.
+
+    The paper has no numeric tables; its "evaluation" is its theorems, so
+    each experiment re-establishes one claim over exhaustively enumerated
+    bounded models (with the model parameters recorded in the result). *)
+
+type outcome = {
+  id : string;  (** experiment id, e.g. "E7" *)
+  claim : string;  (** the paper claim being reproduced *)
+  setting : string;  (** models/universes the check ran over *)
+  holds : bool;
+  detail : string;  (** measured facts, incl. deviations from the paper *)
+}
+
+val all : unit -> outcome list
+(** Runs every experiment (a few seconds of model building and
+    model checking). *)
+
+val run : string -> outcome option
+(** Run a single experiment by id ("E1" .. "E12"). *)
+
+val ids : unit -> string list
+
+val pp : Format.formatter -> outcome -> unit
+val pp_summary : Format.formatter -> outcome list -> unit

@@ -1,0 +1,1 @@
+lib/protocols/chain0.ml: Array Eba_sim Eba_util

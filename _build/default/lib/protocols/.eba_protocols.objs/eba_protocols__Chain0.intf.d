@@ -1,0 +1,1 @@
+lib/protocols/chain0.mli: Protocol_intf

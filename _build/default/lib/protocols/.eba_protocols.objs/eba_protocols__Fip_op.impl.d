@@ -1,0 +1,1 @@
+lib/protocols/fip_op.ml: Array Eba_core Eba_fip Eba_sim Fun Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/fip_op.mli: Eba_core Eba_fip Protocol_intf

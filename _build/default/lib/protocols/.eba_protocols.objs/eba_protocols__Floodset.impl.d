@@ -1,0 +1,1 @@
+lib/protocols/floodset.ml: Array Eba_sim

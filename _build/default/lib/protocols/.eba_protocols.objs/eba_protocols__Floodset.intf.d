@@ -1,0 +1,1 @@
+lib/protocols/floodset.mli: Protocol_intf

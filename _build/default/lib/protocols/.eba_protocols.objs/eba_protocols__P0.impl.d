@@ -1,0 +1,1 @@
+lib/protocols/p0.ml: Array Eba_sim Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/p0.mli: Eba_sim Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/p0opt.ml: Array Eba_sim Eba_util

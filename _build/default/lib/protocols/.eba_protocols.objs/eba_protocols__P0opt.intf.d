@@ -1,0 +1,1 @@
+lib/protocols/p0opt.mli: Protocol_intf

@@ -1,0 +1,1 @@
+lib/protocols/p0opt_plus.ml: Array Eba_sim Eba_util Fun Option

@@ -1,0 +1,1 @@
+lib/protocols/p0opt_plus.mli: Protocol_intf

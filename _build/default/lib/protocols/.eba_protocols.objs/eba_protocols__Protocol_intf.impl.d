@@ -1,0 +1,1 @@
+lib/protocols/protocol_intf.ml: Eba_sim

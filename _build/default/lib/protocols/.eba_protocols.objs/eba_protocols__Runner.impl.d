@@ -1,0 +1,1 @@
+lib/protocols/runner.ml: Array Eba_sim Protocol_intf

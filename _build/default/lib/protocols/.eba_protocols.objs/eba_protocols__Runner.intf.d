@@ -1,0 +1,1 @@
+lib/protocols/runner.mli: Eba_sim Protocol_intf

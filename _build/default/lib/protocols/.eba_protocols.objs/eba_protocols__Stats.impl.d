@@ -1,0 +1,1 @@
+lib/protocols/stats.ml: Array Eba_sim Eba_util Float Format Hashtbl List Printf Protocol_intf Random Runner Stdlib

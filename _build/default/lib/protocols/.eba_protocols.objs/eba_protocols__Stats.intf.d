@@ -1,0 +1,1 @@
+lib/protocols/stats.mli: Eba_sim Format Protocol_intf Runner

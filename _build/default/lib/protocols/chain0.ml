@@ -1,0 +1,89 @@
+(** The operational 0-chain protocol for omission failures (Section 6.2,
+    Prop 6.4): an implementable counterpart of [FIP(Z⁰, O⁰)].
+
+    A processor carries a {e chain flag} — "an initial 0 has reached me
+    along a trusted hop-per-round path" — and a set of processors it knows
+    to be faulty (a missing message convicts its sender: only senders fail
+    in the sending-omission mode; convictions are gossiped).  Rules:
+
+    - the flag starts true iff the initial value is 0, and is set at round
+      [k] if some sender the receiver did not already suspect delivers a
+      true flag in round [k];
+    - decide 0 as soon as the flag is true;
+    - decide 1 after the first round that brings {e no news}: no new
+      suspicions, no new gossip, and no flag — then (Prop 6.4) no 0-chain
+      can ever exist, so no nonfaulty processor will ever decide 0.
+
+    All nonfaulty processors decide by time [f+1] where [f] processors
+    actually fail.  The knowledge-based [FIP(Z⁰, O⁰)] dominates this
+    implementation (its decide-1 test is the exact epistemic condition,
+    not the no-news sufficient condition); the test-suite checks both
+    directions of that relationship. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+module Bitset = Eba_util.Bitset
+
+type msg = { m_chain : bool; m_suspected : Bitset.t }
+
+type state = {
+  me : int;
+  n : int;
+  chain : bool;
+  suspected : Bitset.t;
+  decided : Value.t option;
+  time : int;
+}
+
+let name = "Chain0"
+
+let init (params : Params.t) ~me value =
+  let chain = Value.equal value Value.Zero in
+  {
+    me;
+    n = params.Params.n;
+    chain;
+    suspected = Bitset.empty;
+    decided = (if chain then Some Value.Zero else None);
+    time = 0;
+  }
+
+let send (params : Params.t) st ~round:_ =
+  let out = Array.make params.Params.n None in
+  for j = 0 to params.Params.n - 1 do
+    if j <> st.me then out.(j) <- Some { m_chain = st.chain; m_suspected = st.suspected }
+  done;
+  out
+
+let receive _params st ~round arrived =
+  (* Silence in this round convicts the sender, and gossip arriving this
+     round counts too: the chain-hop trust condition of the paper is
+     ¬B^N at the time the hop lands, i.e. {e after} all round-k evidence.
+     So convictions are merged first and flags accepted only from senders
+     who survive the merge. *)
+  let silent = ref Bitset.empty in
+  let gossip = ref Bitset.empty in
+  let flagged = ref Bitset.empty in
+  Array.iteri
+    (fun j m ->
+      if j <> st.me then
+        match m with
+        | None -> silent := Bitset.add j !silent
+        | Some { m_chain; m_suspected } ->
+            gossip := Bitset.union !gossip m_suspected;
+            if m_chain then flagged := Bitset.add j !flagged)
+    arrived;
+  let suspected' = Bitset.union st.suspected (Bitset.union !silent !gossip) in
+  let no_news = Bitset.equal suspected' st.suspected in
+  let chain = st.chain || not (Bitset.is_empty (Bitset.diff !flagged suspected')) in
+  let decided =
+    match st.decided with
+    | Some _ as d -> d
+    | None ->
+        if chain then Some Value.Zero
+        else if no_news then Some Value.One
+        else None
+  in
+  { st with chain; suspected = suspected'; decided; time = round }
+
+let output st = st.decided

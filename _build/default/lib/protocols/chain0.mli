@@ -1,0 +1,10 @@
+(** The operational 0-chain protocol for sending-omission failures
+    (Section 6.2, Prop 6.4): an implementable counterpart of
+    [FIP(Z⁰, O⁰)].  Decide 0 when an initial 0 arrives along a trusted
+    hop-per-round path; decide 1 after the first round that brings no new
+    fault evidence.  All nonfaulty processors decide by time [f+1] when
+    [f] processors actually fail; under {e general} omissions the protocol
+    remains safe but loses liveness (silence no longer convicts the
+    sender). *)
+
+include Protocol_intf.PROTOCOL

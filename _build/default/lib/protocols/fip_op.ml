@@ -1,0 +1,33 @@
+module View = Eba_fip.View
+module Kb_protocol = Eba_core.Kb_protocol
+module Decision_set = Eba_core.Decision_set
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+
+module Make (Ctx : sig
+  val store : View.store
+  val pair : Kb_protocol.pair
+end) : Protocol_intf.PROTOCOL = struct
+  let name = "FIP"
+
+  type msg = View.id
+  type state = { me : int; view : View.id }
+
+  let init _params ~me value = { me; view = View.leaf Ctx.store ~owner:me value }
+
+  let send (params : Params.t) st ~round:_ =
+    Array.init params.Params.n (fun j -> if j = st.me then None else Some st.view)
+
+  let receive _params st ~round:_ arrived =
+    let received = Array.map Fun.id arrived in
+    received.(st.me) <- None;
+    { st with view = View.node Ctx.store ~owner:st.me ~prev:st.view ~received }
+
+  let output st =
+    let in_zero = Decision_set.mem Ctx.pair.Kb_protocol.zero st.view
+    and in_one = Decision_set.mem Ctx.pair.Kb_protocol.one st.view in
+    if in_zero && in_one then None
+    else if in_zero then Some Value.Zero
+    else if in_one then Some Value.One
+    else None
+end

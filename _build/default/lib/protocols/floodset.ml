@@ -1,0 +1,55 @@
+(** FloodSet: the classical [t+1]-round simultaneous agreement protocol for
+    crash failures, used as the SBA baseline.  Every processor floods the
+    set of initial values it has seen; after round [t+1] all nonfaulty
+    processors hold the same set and decide its minimum, simultaneously.
+
+    This is the protocol EBA is measured against: it decides at time [t+1]
+    in {e every} run, whereas the optimal EBA protocols usually decide much
+    earlier. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+
+type msg = bool * bool  (* (saw a 0, saw a 1) *)
+
+type state = {
+  me : int;
+  deadline : int;
+  saw_zero : bool;
+  saw_one : bool;
+  time : int;
+}
+
+let name = "FloodSet"
+
+let init (params : Params.t) ~me value =
+  {
+    me;
+    deadline = params.Params.t_failures + 1;
+    saw_zero = Value.equal value Value.Zero;
+    saw_one = Value.equal value Value.One;
+    time = 0;
+  }
+
+let send (params : Params.t) st ~round:_ =
+  let out = Array.make params.Params.n None in
+  for j = 0 to params.Params.n - 1 do
+    if j <> st.me then out.(j) <- Some (st.saw_zero, st.saw_one)
+  done;
+  out
+
+let receive _params st ~round arrived =
+  let saw_zero = ref st.saw_zero and saw_one = ref st.saw_one in
+  Array.iter
+    (function
+      | Some (z, o) ->
+          saw_zero := !saw_zero || z;
+          saw_one := !saw_one || o
+      | None -> ())
+    arrived;
+  { st with saw_zero = !saw_zero; saw_one = !saw_one; time = round }
+
+let output st =
+  if st.time >= st.deadline then
+    Some (if st.saw_zero then Value.Zero else Value.One)
+  else None

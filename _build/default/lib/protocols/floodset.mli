@@ -1,0 +1,7 @@
+(** FloodSet: the classical [t+1]-round simultaneous (SBA) baseline for
+    crash failures.  Every processor floods the set of initial values it
+    has seen and decides at exactly time [t+1] — 0 if a 0 was ever seen,
+    1 otherwise.  This is the fixed-cost protocol the optimal EBA
+    protocols are measured against. *)
+
+include Protocol_intf.PROTOCOL

@@ -1,0 +1,67 @@
+(** The crash-mode EBA protocol of Prop 2.1's proof (after [LF82]): when a
+    processor first learns that some processor has an initial value of 0,
+    it decides 0 and relays the 0 once; a processor that has not learned of
+    a 0 by time [t+1] decides 1.  {!P1} is the 0/1 mirror. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+
+module Make (Target : sig
+  val name : string
+
+  val target : Value.t
+  (** Decide [target] on learning of it; decide its negation at [t+1]. *)
+end) : Protocol_intf.PROTOCOL = struct
+  let name = Target.name
+
+  type msg = Token  (* "some processor had initial value [target]" *)
+
+  type state = {
+    me : int;
+    deadline : int;  (* t + 1 *)
+    knows_target : bool;
+    relayed : bool;
+    time : int;
+  }
+
+  let init (params : Params.t) ~me value =
+    {
+      me;
+      deadline = params.Params.t_failures + 1;
+      knows_target = Value.equal value Target.target;
+      relayed = false;
+      time = 0;
+    }
+
+  let send (params : Params.t) st ~round:_ =
+    let out = Array.make params.Params.n None in
+    if st.knows_target && not st.relayed then
+      for j = 0 to params.Params.n - 1 do
+        if j <> st.me then out.(j) <- Some Token
+      done;
+    out
+
+  let receive _params st ~round arrived =
+    let heard = Array.exists (function Some Token -> true | None -> false) arrived in
+    {
+      st with
+      relayed = st.relayed || st.knows_target;
+      knows_target = st.knows_target || heard;
+      time = round;
+    }
+
+  let output st =
+    if st.knows_target then Some Target.target
+    else if st.time >= st.deadline then Some (Value.negate Target.target)
+    else None
+end
+
+module P0 = Make (struct
+  let name = "P0"
+  let target = Value.Zero
+end)
+
+module P1 = Make (struct
+  let name = "P1"
+  let target = Value.One
+end)

@@ -1,0 +1,22 @@
+(** The crash-mode EBA protocols of Prop 2.1's proof (after [LF82]).
+
+    [P0]: when a processor first learns that some processor has an initial
+    value of 0, it decides 0 and relays the 0 once; a processor that has
+    not learned of a 0 by time [t+1] decides 1.  All nonfaulty 0-holders
+    decide at time 0.  [P1] is the 0/1 mirror, deciding 1 eagerly.
+
+    These two protocols carry the paper's no-optimum argument: any optimum
+    EBA protocol would have to dominate both, and hence decide everything
+    at time 0 — impossible by the [DS82] lower bound. *)
+
+module Value = Eba_sim.Value
+
+module Make (_ : sig
+  val name : string
+
+  val target : Value.t
+  (** Decide [target] on learning of it; decide its negation at [t+1]. *)
+end) : Protocol_intf.PROTOCOL
+
+module P0 : Protocol_intf.PROTOCOL
+module P1 : Protocol_intf.PROTOCOL

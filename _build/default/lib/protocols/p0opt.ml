@@ -1,0 +1,92 @@
+(** [P0opt] (Section 2.2): the optimal crash-mode EBA protocol obtained by
+    keeping [P0]'s rule for deciding 0 and deciding 1 as early as possible.
+
+    Every processor maintains what it knows of the initial values and
+    broadcasts that vector each round.  It decides 0 as soon as it learns
+    of an initial 0, and decides 1 as soon as either
+
+    (a) it knows every initial value is 1, or
+    (b) it hears from the same set of processors in two consecutive rounds
+        and still knows of no initial 0
+
+    — in which case no nonfaulty processor can ever learn of a 0 (crash
+    failures only).  Theorem 6.2: this makes the same decisions as the
+    knowledge-based [F^Λ,2] at corresponding points, with linear-size
+    messages instead of full-information ones. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+module Bitset = Eba_util.Bitset
+
+type msg = Value.t option array  (* known initial values *)
+
+type state = {
+  me : int;
+  n : int;
+  known : Value.t option array;
+  heard_last : Bitset.t option;  (* senders heard from in the last round *)
+  heard_prev : Bitset.t option;  (* ... and the round before *)
+  time : int;
+  decided : Value.t option;
+}
+
+let name = "P0opt"
+
+let knows_zero st =
+  Array.exists (function Some v -> Value.equal v Value.Zero | None -> false) st.known
+
+let knows_all_one st =
+  Array.for_all (function Some v -> Value.equal v Value.One | None -> false) st.known
+
+let quiescent st =
+  (* condition (b): same heard-from set two rounds running *)
+  match (st.heard_last, st.heard_prev) with
+  | Some a, Some b -> Bitset.equal a b
+  | (Some _ | None), _ -> false
+
+let decide st =
+  if st.decided <> None then st.decided
+  else if knows_zero st then Some Value.Zero
+  else if knows_all_one st || (st.time >= 2 && quiescent st) then Some Value.One
+  else None
+
+let init (params : Params.t) ~me value =
+  let known = Array.make params.Params.n None in
+  known.(me) <- Some value;
+  let st =
+    { me; n = params.Params.n; known; heard_last = None; heard_prev = None; time = 0; decided = None }
+  in
+  { st with decided = decide st }
+
+let send (params : Params.t) st ~round:_ =
+  let out = Array.make params.Params.n None in
+  for j = 0 to params.Params.n - 1 do
+    if j <> st.me then out.(j) <- Some (Array.copy st.known)
+  done;
+  out
+
+let receive _params st ~round arrived =
+  let known = Array.copy st.known in
+  let heard = ref Bitset.empty in
+  Array.iteri
+    (fun j m ->
+      match m with
+      | None -> ()
+      | Some their_known ->
+          heard := Bitset.add j !heard;
+          Array.iteri
+            (fun p v -> match v with Some _ when known.(p) = None -> known.(p) <- v | _ -> ())
+            their_known)
+    arrived;
+  let st =
+    {
+      st with
+      known;
+      heard_prev = st.heard_last;
+      heard_last = Some !heard;
+      time = round;
+    }
+  in
+  { st with decided = decide st }
+
+let output st = st.decided

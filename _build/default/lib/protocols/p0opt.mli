@@ -1,0 +1,12 @@
+(** [P0opt] (Section 2.2): the optimal crash-mode EBA protocol obtained by
+    keeping [P0]'s rule for deciding 0 and deciding 1 as early as possible
+    with value-vector messages.  Decide 0 on learning of an initial 0;
+    decide 1 when (a) every initial value is known to be 1, or (b) the
+    heard-from set repeats in two consecutive rounds with no 0 known.
+
+    Theorem 6.2 claims this matches the knowledge-based optimum [F^Λ,2];
+    machine-checking shows that equivalence holds exactly for [t = 1] and
+    fails for [t ≥ 2] (see {!P0opt_plus} and EXPERIMENTS.md E9).  [P0opt]
+    remains a correct EBA protocol at every [t]. *)
+
+include Protocol_intf.PROTOCOL

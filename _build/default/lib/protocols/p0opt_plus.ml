@@ -1,0 +1,164 @@
+(** [P0opt+]: an optimal crash-mode EBA protocol with polynomial-size
+    messages that matches the knowledge-based [F^Λ,2] {e for every t}.
+
+    Theorem 6.2 presents [P0opt] (value vectors + the "same heard-set
+    twice" rule) as equivalent to [F^Λ,2].  Exhaustive checking shows that
+    equivalence is a [t = 1] phenomenon: for [t ≥ 2], a processor that
+    crashes in round 1 while delivering its last message {e to me} keeps my
+    heard-set shrinking, so rule (b) stays silent even when gossiped
+    delivery evidence already pins every potential witness of a 0 as dead.
+    [P0opt] remains correct but is strictly dominated.
+
+    This variant closes the gap by gossiping, for every processor [j], the
+    row [(v_j, heard_j(1), ..., heard_j(k))] — everything a full-information
+    view contains in the crash mode, in [O(n² T)] bits.  Decisions:
+
+    - decide 0 on (transitively) learning any initial 0;
+    - decide 1 at time [m] when nobody can possibly know a 0 and be
+      nonfaulty: compute the {e possibly-knows-0} relation
+      [K(x, k)] — [x]'s value is unknown to me at [k = 0]; thereafter
+      [K(x,k)] holds if my rows do not cover [x]'s time-[k] state and
+      either [K(x,k-1)], or some [b] with [K(b,k-1)] might have delivered
+      to [x] in round [k] ([b] not provably crashed before [k], delivery
+      not contradicted by a known heard-set).  Decide 1 iff every [x] with
+      [K(x,m)] is provably crashed (some known heard-set shows a missed
+      message from [x], so [x] is faulty and permanently silent).
+
+    The test-suite checks, exhaustively over crash universes with t = 1
+    and t = 2, that this protocol makes {e exactly} the decisions of
+    [F^Λ,2] at corresponding points. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+module Bitset = Eba_util.Bitset
+
+type row = {
+  r_value : Value.t;
+  r_heard : Bitset.t array;  (* r_heard.(k-1) = senders heard in round k *)
+  r_upto : int;  (* rounds covered: r_heard.(0 .. r_upto - 1) are valid *)
+}
+
+type msg = row option array  (* my whole table *)
+
+type state = {
+  me : int;
+  n : int;
+  horizon : int;
+  table : row option array;
+  time : int;
+  decided : Value.t option;
+}
+
+let name = "P0opt+"
+
+let knows_zero st =
+  Array.exists
+    (function Some r -> Value.equal r.r_value Value.Zero | None -> false)
+    st.table
+
+(* first round at which x is provably crashed: some known heard-set misses
+   a message from x *)
+let crash_evidence st x =
+  let best = ref None in
+  Array.iteri
+    (fun a row ->
+      match row with
+      | None -> ()
+      | Some r ->
+          if a <> x then
+            for k = 1 to r.r_upto do
+              if not (Bitset.mem x r.r_heard.(k - 1)) then
+                match !best with
+                | Some b when b <= k -> ()
+                | Some _ | None -> best := Some k
+            done)
+    st.table;
+  !best
+
+let upto st x = match st.table.(x) with None -> -1 | Some r -> r.r_upto
+
+let known_not_delivered st ~sender ~receiver ~round =
+  match st.table.(receiver) with
+  | Some r when round <= r.r_upto -> not (Bitset.mem sender r.r_heard.(round - 1))
+  | Some _ | None -> false
+
+let safe_to_decide_one st =
+  let n = st.n in
+  let evidence = Array.init n (fun x -> crash_evidence st x) in
+  let k_now = Array.init n (fun x -> st.table.(x) = None) in
+  let k_now = ref k_now in
+  for k = 1 to st.time do
+    let next =
+      Array.init n (fun x ->
+          upto st x < k
+          && ((!k_now).(x)
+             ||
+             let feeds b =
+               (!k_now).(b)
+               && (not (known_not_delivered st ~sender:b ~receiver:x ~round:k))
+               && match evidence.(b) with Some kb -> kb >= k | None -> true
+             in
+             let rec any b = b < n && ((b <> x && feeds b) || any (b + 1)) in
+             any 0))
+    in
+    k_now := next
+  done;
+  let threat x = (!k_now).(x) && evidence.(x) = None in
+  let rec any x = x < st.n && (threat x || any (x + 1)) in
+  not (any 0)
+
+let decide st =
+  if st.decided <> None then st.decided
+  else if knows_zero st then Some Value.Zero
+  else if safe_to_decide_one st then Some Value.One
+  else None
+
+let init (params : Params.t) ~me value =
+  let table = Array.make params.Params.n None in
+  table.(me) <-
+    Some { r_value = value; r_heard = Array.make params.Params.horizon Bitset.empty; r_upto = 0 };
+  let st =
+    {
+      me;
+      n = params.Params.n;
+      horizon = params.Params.horizon;
+      table;
+      time = 0;
+      decided = None;
+    }
+  in
+  { st with decided = decide st }
+
+let copy_row r = { r with r_heard = Array.copy r.r_heard }
+
+let send (params : Params.t) st ~round:_ =
+  let snapshot = Array.map (Option.map copy_row) st.table in
+  Array.init params.Params.n (fun j -> if j = st.me then None else Some snapshot)
+
+let merge_row mine theirs =
+  match (mine, theirs) with
+  | None, r | r, None -> Option.map copy_row r
+  | Some a, Some b -> Some (copy_row (if a.r_upto >= b.r_upto then a else b))
+
+let receive _params st ~round arrived =
+  let table = Array.map Fun.id st.table in
+  let heard = ref Bitset.empty in
+  Array.iteri
+    (fun j m ->
+      match m with
+      | None -> ()
+      | Some their_table ->
+          heard := Bitset.add j !heard;
+          Array.iteri (fun x r -> table.(x) <- merge_row table.(x) r) their_table)
+    arrived;
+  (* extend my own row with this round's heard-set *)
+  (match table.(st.me) with
+  | Some r ->
+      let r = copy_row r in
+      r.r_heard.(round - 1) <- !heard;
+      table.(st.me) <- Some { r with r_upto = round }
+  | None -> assert false);
+  let st = { st with table; time = round } in
+  { st with decided = decide st }
+
+let output st = st.decided

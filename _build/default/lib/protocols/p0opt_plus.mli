@@ -1,0 +1,12 @@
+(** [P0opt+]: an optimal crash-mode EBA protocol with polynomial-size
+    messages that matches the knowledge-based [F^Λ,2] for {e every} [t]
+    (machine-checked exhaustively at t = 1 and t = 2), repairing the
+    [t ≥ 2] gap in Theorem 6.2's [P0opt].
+
+    Messages gossip one row per processor — initial value plus per-round
+    heard-sets ([O(n² T)] bits).  Decide 0 on any (transitively) learned
+    initial 0; decide 1 when every processor that could possibly know a 0
+    (a closure over unknown values and uncontradicted deliveries) is
+    provably crashed and hence permanently silent. *)
+
+include Protocol_intf.PROTOCOL

@@ -1,0 +1,36 @@
+(** The operational protocol interface: the message-generation /
+    state-transition / output form of Section 2.3, for protocols that run
+    as real message-passing automata (as opposed to the knowledge-based
+    decision pairs of [Eba_core]).
+
+    One round proceeds as: every processor computes its outgoing messages
+    with [send]; the failure pattern removes some of them; every processor
+    then ingests what arrived with [receive].  Decisions are read with
+    [output] at each time step (time 0 included) and are irreversible: the
+    first non-[None] output is the decision. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+
+module type PROTOCOL = sig
+  val name : string
+
+  type state
+  type msg
+
+  val init : Params.t -> me:int -> Value.t -> state
+  (** State at time 0. *)
+
+  val send : Params.t -> state -> round:int -> msg option array
+  (** [send params st ~round] returns the message for each destination
+      ([None] = protocol sends nothing there; the self slot is ignored).
+      The array length must be [n]. *)
+
+  val receive : Params.t -> state -> round:int -> msg option array -> state
+  (** [receive params st ~round arrived] with [arrived.(j)] the message
+      from [j] if it was sent and delivered. *)
+
+  val output : state -> Value.t option
+  (** Current decision, if any; once some value is returned the runner
+      records the first time it appeared. *)
+end

@@ -1,0 +1,69 @@
+module Params = Eba_sim.Params
+module Config = Eba_sim.Config
+module Pattern = Eba_sim.Pattern
+module Value = Eba_sim.Value
+
+type decision = { at : int; value : Value.t }
+
+type trace = {
+  decisions : decision option array;
+  messages_attempted : int;
+  messages_delivered : int;
+}
+
+module Make (P : Protocol_intf.PROTOCOL) = struct
+  type step_stats = { mutable attempted : int; mutable delivered : int }
+
+  let note_outputs states decisions time =
+    Array.iteri
+      (fun i st ->
+        match (decisions.(i), P.output st) with
+        | None, Some value -> decisions.(i) <- Some { at = time; value }
+        | (Some _ | None), _ -> ())
+      states
+
+  let execute (params : Params.t) config pattern =
+    let n = params.Params.n in
+    let states =
+      Array.init n (fun i -> P.init params ~me:i (Config.value config i))
+    in
+    let decisions = Array.make n None in
+    let stats = { attempted = 0; delivered = 0 } in
+    note_outputs states decisions 0;
+    for round = 1 to params.Params.horizon do
+      let outgoing = Array.init n (fun i -> P.send params states.(i) ~round) in
+      let arrived = Array.init n (fun _ -> Array.make n None) in
+      for sender = 0 to n - 1 do
+        if Array.length outgoing.(sender) <> n then
+          invalid_arg "Runner: send must return one slot per destination";
+        for dest = 0 to n - 1 do
+          if dest <> sender then
+            match outgoing.(sender).(dest) with
+            | None -> ()
+            | Some msg ->
+                stats.attempted <- stats.attempted + 1;
+                if Pattern.delivers pattern ~round ~sender ~receiver:dest then begin
+                  stats.delivered <- stats.delivered + 1;
+                  arrived.(dest).(sender) <- Some msg
+                end
+        done
+      done;
+      for i = 0 to n - 1 do
+        states.(i) <- P.receive params states.(i) ~round arrived.(i)
+      done;
+      note_outputs states decisions round
+    done;
+    (states, decisions, stats)
+
+  let run params config pattern =
+    let _, decisions, stats = execute params config pattern in
+    {
+      decisions;
+      messages_attempted = stats.attempted;
+      messages_delivered = stats.delivered;
+    }
+
+  let final_states params config pattern =
+    let states, _, _ = execute params config pattern in
+    states
+end

@@ -1,0 +1,32 @@
+(** Synchronous execution of an operational protocol under a failure
+    pattern (the round structure of Section 2.3).
+
+    Crash semantics: a processor that crashes in round [k] sends normally
+    before round [k], sends only to the pattern's recipient set in round
+    [k], and nothing afterwards; it keeps receiving (its state and outputs
+    are irrelevant to the specification but are still tracked).  Omission
+    semantics: the pattern's per-round omission sets are removed from
+    whatever the protocol sends. *)
+
+module Params = Eba_sim.Params
+module Config = Eba_sim.Config
+module Pattern = Eba_sim.Pattern
+module Value = Eba_sim.Value
+
+type decision = { at : int; value : Value.t }
+
+type trace = {
+  decisions : decision option array;  (** per processor, first output *)
+  messages_attempted : int;  (** messages the protocol asked to send *)
+  messages_delivered : int;
+}
+
+module Make (P : Protocol_intf.PROTOCOL) : sig
+  val run : Params.t -> Config.t -> Pattern.t -> trace
+  (** Executes rounds [1..horizon] and returns the per-processor decisions
+      (scanning outputs at every time from 0 to the horizon). *)
+
+  val final_states : Params.t -> Config.t -> Pattern.t -> P.state array
+  (** The states at the horizon, for tests that inspect protocol
+      internals. *)
+end

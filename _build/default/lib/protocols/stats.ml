@@ -1,0 +1,165 @@
+module Params = Eba_sim.Params
+module Config = Eba_sim.Config
+module Pattern = Eba_sim.Pattern
+module Universe = Eba_sim.Universe
+module Value = Eba_sim.Value
+module Bitset = Eba_util.Bitset
+
+type by_failures = {
+  failures : int;
+  count : int;
+  mean_time : float;
+  max_time : int;
+  undecided : int;
+}
+
+type summary = {
+  protocol : string;
+  runs : int;
+  agreement_violations : int;
+  validity_violations : int;
+  undecided_nonfaulty : int;
+  mean_time : float;
+  max_time : int;
+  by_failures : by_failures list;
+  messages_attempted : int;
+  messages_delivered : int;
+}
+
+let run_one (module P : Protocol_intf.PROTOCOL) params config pattern =
+  let module R = Runner.Make (P) in
+  R.run params config pattern
+
+type acc = {
+  mutable a_count : int;
+  mutable a_time_sum : int;
+  mutable a_time_n : int;
+  mutable a_max : int;
+  mutable a_undecided : int;
+}
+
+let over (module P : Protocol_intf.PROTOCOL) (params : Params.t) workload =
+  let module R = Runner.Make (P) in
+  let n = params.Params.n in
+  let agreement_violations = ref 0
+  and validity_violations = ref 0
+  and undecided = ref 0
+  and time_sum = ref 0
+  and time_n = ref 0
+  and max_time = ref 0
+  and attempted = ref 0
+  and delivered = ref 0
+  and runs = ref 0 in
+  let per_f : (int, acc) Hashtbl.t = Hashtbl.create 8 in
+  let acc_for f =
+    match Hashtbl.find_opt per_f f with
+    | Some a -> a
+    | None ->
+        let a = { a_count = 0; a_time_sum = 0; a_time_n = 0; a_max = 0; a_undecided = 0 } in
+        Hashtbl.add per_f f a;
+        a
+  in
+  List.iter
+    (fun (config, pattern) ->
+      incr runs;
+      let trace = R.run params config pattern in
+      attempted := !attempted + trace.Runner.messages_attempted;
+      delivered := !delivered + trace.Runner.messages_delivered;
+      let nonfaulty = Bitset.diff (Bitset.full n) (Pattern.faulty pattern) in
+      let f = Pattern.num_failures pattern in
+      let a = acc_for f in
+      a.a_count <- a.a_count + 1;
+      let seen = ref None and agreement_bad = ref false and validity_bad = ref false in
+      let unanimous = Config.all_equal config in
+      Bitset.iter
+        (fun i ->
+          match trace.Runner.decisions.(i) with
+          | None ->
+              incr undecided;
+              a.a_undecided <- a.a_undecided + 1
+          | Some { Runner.at; value } ->
+              time_sum := !time_sum + at;
+              incr time_n;
+              if at > !max_time then max_time := at;
+              a.a_time_sum <- a.a_time_sum + at;
+              a.a_time_n <- a.a_time_n + 1;
+              if at > a.a_max then a.a_max <- at;
+              (match !seen with
+              | None -> seen := Some value
+              | Some v -> if not (Value.equal v value) then agreement_bad := true);
+              (match unanimous with
+              | Some v when not (Value.equal v value) -> validity_bad := true
+              | Some _ | None -> ()))
+        nonfaulty;
+      if !agreement_bad then incr agreement_violations;
+      if !validity_bad then incr validity_violations)
+    workload;
+  let by_failures =
+    Hashtbl.fold (fun f a acc -> (f, a) :: acc) per_f []
+    |> List.sort (fun (f1, _) (f2, _) -> Stdlib.compare f1 f2)
+    |> List.map (fun (f, a) ->
+           {
+             failures = f;
+             count = a.a_count;
+             mean_time =
+               (if a.a_time_n = 0 then Float.nan
+                else float_of_int a.a_time_sum /. float_of_int a.a_time_n);
+             max_time = a.a_max;
+             undecided = a.a_undecided;
+           })
+  in
+  {
+    protocol = P.name;
+    runs = !runs;
+    agreement_violations = !agreement_violations;
+    validity_violations = !validity_violations;
+    undecided_nonfaulty = !undecided;
+    mean_time =
+      (if !time_n = 0 then Float.nan else float_of_int !time_sum /. float_of_int !time_n);
+    max_time = !max_time;
+    by_failures;
+    messages_attempted = !attempted;
+    messages_delivered = !delivered;
+  }
+
+let exhaustive ?(flavour = Universe.Exhaustive) p (params : Params.t) =
+  let configs = Config.all ~n:params.Params.n in
+  let patterns = Universe.patterns ~flavour params in
+  let workload =
+    List.concat_map (fun pattern -> List.map (fun c -> (c, pattern)) configs) patterns
+  in
+  over p params workload
+
+let sampled p (params : Params.t) ~seed ~samples =
+  let rng = Random.State.make [| seed |] in
+  let workload =
+    List.init samples (fun _ ->
+        let config =
+          Config.of_bits ~n:params.Params.n
+            (Random.State.int rng (1 lsl params.Params.n))
+        in
+        (config, Universe.random_pattern rng params))
+  in
+  over p params workload
+
+let pp_by_failures fmt b =
+  Format.fprintf fmt "f=%d: %d runs, mean %.2f, max %d%s" b.failures b.count b.mean_time
+    b.max_time
+    (if b.undecided > 0 then Printf.sprintf ", %d undecided" b.undecided else "")
+
+let pp fmt s =
+  Format.fprintf fmt "%s over %d runs: agreement-violations=%d validity-violations=%d \
+                      undecided=%d mean-decision=%.2f max-decision=%d msgs=%d/%d@\n"
+    s.protocol s.runs s.agreement_violations s.validity_violations s.undecided_nonfaulty
+    s.mean_time s.max_time s.messages_delivered s.messages_attempted;
+  List.iter (fun b -> Format.fprintf fmt "  %a@\n" pp_by_failures b) s.by_failures
+
+let pp_table_header fmt () =
+  Format.fprintf fmt "%-10s %8s %6s %6s %8s %8s %10s@\n" "protocol" "runs" "agree"
+    "valid" "mean_t" "max_t" "msgs"
+
+let pp_table_row fmt s =
+  Format.fprintf fmt "%-10s %8d %6s %6s %8.2f %8d %10d@\n" s.protocol s.runs
+    (if s.agreement_violations = 0 then "ok" else string_of_int s.agreement_violations)
+    (if s.validity_violations = 0 then "ok" else string_of_int s.validity_violations)
+    s.mean_time s.max_time s.messages_delivered

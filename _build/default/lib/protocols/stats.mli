@@ -1,0 +1,60 @@
+(** Workload harness for operational protocols: execute a protocol over a
+    set of (configuration, pattern) pairs and aggregate specification
+    checks and decision-time statistics.
+
+    This is what the benchmark tables are built from: exhaustive universes
+    for the small models cross-validated against the semantic layer, and
+    sampled universes for large [n]. *)
+
+module Params = Eba_sim.Params
+module Config = Eba_sim.Config
+module Pattern = Eba_sim.Pattern
+
+type by_failures = {
+  failures : int;  (** [f] — processors exhibiting a failure *)
+  count : int;  (** runs with this [f] *)
+  mean_time : float;  (** mean decision time of nonfaulty deciders *)
+  max_time : int;
+  undecided : int;  (** nonfaulty processors without a decision *)
+}
+
+type summary = {
+  protocol : string;
+  runs : int;
+  agreement_violations : int;
+  validity_violations : int;
+  undecided_nonfaulty : int;
+  mean_time : float;
+  max_time : int;
+  by_failures : by_failures list;  (** ascending [f] *)
+  messages_attempted : int;
+  messages_delivered : int;
+}
+
+val run_one :
+  (module Protocol_intf.PROTOCOL) -> Params.t -> Config.t -> Pattern.t -> Runner.trace
+
+val over :
+  (module Protocol_intf.PROTOCOL) ->
+  Params.t ->
+  (Config.t * Pattern.t) list ->
+  summary
+
+val exhaustive :
+  ?flavour:Eba_sim.Universe.flavour ->
+  (module Protocol_intf.PROTOCOL) ->
+  Params.t ->
+  summary
+(** Every configuration × every pattern of the universe. *)
+
+val sampled :
+  (module Protocol_intf.PROTOCOL) ->
+  Params.t ->
+  seed:int ->
+  samples:int ->
+  summary
+(** Random configurations and patterns (deterministic in [seed]). *)
+
+val pp : Format.formatter -> summary -> unit
+val pp_table_row : Format.formatter -> summary -> unit
+val pp_table_header : Format.formatter -> unit -> unit

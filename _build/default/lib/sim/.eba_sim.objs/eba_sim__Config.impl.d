@@ -1,0 +1,1 @@
+lib/sim/config.ml: Array List Stdlib Value

@@ -1,0 +1,1 @@
+lib/sim/params.ml: Eba_util Format Fun List

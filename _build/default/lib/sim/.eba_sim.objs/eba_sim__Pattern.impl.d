@@ -1,0 +1,1 @@
+lib/sim/pattern.ml: Array Eba_util Format Params Stdlib String

@@ -1,0 +1,1 @@
+lib/sim/pattern.mli: Eba_util Format Params

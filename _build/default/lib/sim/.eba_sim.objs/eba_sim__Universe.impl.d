@@ -1,0 +1,1 @@
+lib/sim/universe.ml: Array Eba_util Fun List Option Params Pattern Random

@@ -1,0 +1,1 @@
+lib/sim/universe.mli: Eba_util Params Pattern Random

@@ -1,0 +1,29 @@
+type t = Value.t array
+
+let make values = Array.copy values
+
+let of_bits ~n bits =
+  Array.init n (fun i -> if bits land (1 lsl i) <> 0 then Value.One else Value.Zero)
+
+let to_bits c =
+  let bits = ref 0 in
+  Array.iteri (fun i v -> if Value.equal v Value.One then bits := !bits lor (1 lsl i)) c;
+  !bits
+
+let n = Array.length
+let value c i = c.(i)
+let exists_value c v = Array.exists (Value.equal v) c
+
+let all_equal c =
+  let v = c.(0) in
+  if Array.for_all (Value.equal v) c then Some v else None
+
+let all ~n =
+  List.init (1 lsl n) (fun bits -> of_bits ~n bits)
+
+let constant ~n v = Array.make n v
+let equal a b = to_bits a = to_bits b && Array.length a = Array.length b
+let compare a b = Stdlib.compare (Array.length a, to_bits a) (Array.length b, to_bits b)
+
+let pp fmt c =
+  Array.iter (fun v -> Value.pp fmt v) c

@@ -1,0 +1,32 @@
+(** Initial configurations: the vector of initial values, one per
+    processor.  A protocol, an initial configuration and a failure pattern
+    uniquely determine a run (Section 2.3 of the paper). *)
+
+type t
+(** An immutable initial configuration. *)
+
+val make : Value.t array -> t
+(** Takes ownership of a copy of the array. *)
+
+val of_bits : n:int -> int -> t
+(** [of_bits ~n bits] assigns processor [i] the value [One] iff bit [i] of
+    [bits] is set.  Inverse of {!to_bits}. *)
+
+val to_bits : t -> int
+val n : t -> int
+val value : t -> int -> Value.t
+
+val exists_value : t -> Value.t -> bool
+(** The paper's basic facts [∃0] / [∃1]: does some processor hold this
+    initial value? *)
+
+val all_equal : t -> Value.t option
+(** [Some v] iff every processor starts with [v]. *)
+
+val all : n:int -> t list
+(** All [2^n] configurations, in increasing {!to_bits} order. *)
+
+val constant : n:int -> Value.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+module Bitset = Eba_util.Bitset
+module Combi = Eba_util.Combi
+
+let others (params : Params.t) proc =
+  Bitset.remove proc (Bitset.full params.Params.n)
+
+let crash_behaviours (params : Params.t) ~proc =
+  let horizon = params.Params.horizon in
+  let rest = others params proc in
+  let all_subsets = List.map Bitset.of_int (List.init (Bitset.to_int rest + 1) Fun.id) in
+  let strict = List.filter (fun s -> Bitset.subset s rest && not (Bitset.equal s rest)) all_subsets in
+  let per_round round =
+    List.map (fun recipients -> Pattern.crash ~horizon ~proc ~round ~recipients) strict
+  in
+  Pattern.clean_crash ~horizon ~proc
+  :: List.concat_map per_round (Params.rounds params)
+
+let round_choices_exhaustive params proc =
+  let rest = others params proc in
+  List.filter
+    (fun s -> Bitset.subset s rest)
+    (Bitset.subsets params.Params.n)
+
+let round_choices_sparse params proc =
+  let rest = others params proc in
+  Bitset.empty :: rest :: List.map Bitset.singleton (Bitset.to_list rest)
+
+let omission_of_choices (params : Params.t) proc choices =
+  Pattern.omission ~horizon:params.Params.horizon ~proc ~omits:(Array.of_list choices)
+
+let omission_behaviours_gen choices (params : Params.t) ~proc =
+  let per_round = choices params proc in
+  let tuples = Combi.cartesian (List.map (fun _ -> per_round) (Params.rounds params)) in
+  List.map (omission_of_choices params proc) tuples
+
+let omission_behaviours params ~proc =
+  omission_behaviours_gen round_choices_exhaustive params ~proc
+
+let omission_behaviours_sparse params ~proc =
+  omission_behaviours_gen round_choices_sparse params ~proc
+
+let general_behaviours_gen choices (params : Params.t) ~proc =
+  let per_round = choices params proc in
+  (* a round's behaviour is an independent (send-omit, receive-omit) pair *)
+  let pairs =
+    List.concat_map (fun s -> List.map (fun r -> (s, r)) per_round) per_round
+  in
+  let tuples = Combi.cartesian (List.map (fun _ -> pairs) (Params.rounds params)) in
+  List.map
+    (fun per_rounds ->
+      let send = Array.of_list (List.map fst per_rounds) in
+      let recv = Array.of_list (List.map snd per_rounds) in
+      Pattern.general ~horizon:params.Params.horizon ~proc ~send ~recv)
+    tuples
+
+let general_behaviours params ~proc =
+  general_behaviours_gen round_choices_exhaustive params ~proc
+
+let general_behaviours_sparse params ~proc =
+  general_behaviours_gen round_choices_sparse params ~proc
+
+type flavour = Exhaustive | Sparse
+
+let behaviours_for ?(flavour = Exhaustive) (params : Params.t) ~proc =
+  match (params.Params.mode, flavour) with
+  | Params.Crash, _ -> crash_behaviours params ~proc
+  | Params.Omission, Exhaustive -> omission_behaviours params ~proc
+  | Params.Omission, Sparse -> omission_behaviours_sparse params ~proc
+  | Params.General_omission, Exhaustive -> general_behaviours params ~proc
+  | Params.General_omission, Sparse -> general_behaviours_sparse params ~proc
+
+let patterns ?(flavour = Exhaustive) (params : Params.t) =
+  let faulty_sets = Bitset.subsets_upto params.Params.n params.Params.t_failures in
+  let for_set set =
+    let per_proc =
+      List.map (fun proc -> behaviours_for ~flavour params ~proc) (Bitset.to_list set)
+    in
+    List.map (Pattern.make params) (Combi.cartesian per_proc)
+  in
+  List.concat_map for_set faulty_sets
+
+let behaviour_count ?(flavour = Exhaustive) (params : Params.t) =
+  let n = params.Params.n and horizon = params.Params.horizon in
+  match (params.Params.mode, flavour) with
+  | Params.Crash, _ -> 1 + (horizon * (Combi.pow 2 (n - 1) - 1))
+  | Params.Omission, Exhaustive -> Combi.pow (Combi.pow 2 (n - 1)) horizon
+  | Params.Omission, Sparse -> Combi.pow (n + 1) horizon
+  | Params.General_omission, Exhaustive ->
+      Combi.pow (Combi.pow 2 (n - 1) * Combi.pow 2 (n - 1)) horizon
+  | Params.General_omission, Sparse -> Combi.pow ((n + 1) * (n + 1)) horizon
+
+let count ?(flavour = Exhaustive) (params : Params.t) =
+  let per_proc = behaviour_count ~flavour params in
+  let n = params.Params.n in
+  let rec total f acc =
+    if f > params.Params.t_failures then acc
+    else total (f + 1) (acc + (Combi.choose n f * Combi.pow per_proc f))
+  in
+  total 0 0
+
+let random_subset rng set =
+  Bitset.filter (fun _ -> Random.State.bool rng) set
+
+let random_behaviour rng (params : Params.t) proc =
+  let horizon = params.Params.horizon in
+  match params.Params.mode with
+  | Params.Crash ->
+      let round = 1 + Random.State.int rng (horizon + 1) in
+      if round > horizon then Pattern.clean_crash ~horizon ~proc
+      else
+        let rest = others params proc in
+        let recipients = Bitset.inter (random_subset rng rest) rest in
+        let recipients = if Bitset.equal recipients rest then Bitset.remove (Option.get (Bitset.choose rest)) recipients else recipients in
+        Pattern.crash ~horizon ~proc ~round ~recipients
+  | Params.Omission ->
+      let rest = others params proc in
+      let omits = Array.init horizon (fun _ -> random_subset rng rest) in
+      Pattern.omission ~horizon ~proc ~omits
+  | Params.General_omission ->
+      let rest = others params proc in
+      let send = Array.init horizon (fun _ -> random_subset rng rest) in
+      let recv = Array.init horizon (fun _ -> random_subset rng rest) in
+      Pattern.general ~horizon ~proc ~send ~recv
+
+let random_pattern rng (params : Params.t) =
+  let f = Random.State.int rng (params.Params.t_failures + 1) in
+  let rec pick_faulty acc =
+    if Bitset.cardinal acc = f then acc
+    else pick_faulty (Bitset.add (Random.State.int rng params.Params.n) acc)
+  in
+  let faulty = pick_faulty Bitset.empty in
+  let behaviours =
+    List.map (fun proc -> random_behaviour rng params proc) (Bitset.to_list faulty)
+  in
+  Pattern.make params behaviours

@@ -1,0 +1,39 @@
+(** Adversary universes: enumerations of failure patterns that define which
+    runs exist in a bounded model.
+
+    Knowledge is always computed {e relative to a system of runs}; these
+    enumerators make the system explicit.  [exhaustive] universes contain
+    every canonical pattern of the mode and are what the correctness and
+    optimality experiments quantify over.  The [sparse] omission universe is
+    a documented restriction (each faulty processor omits, per round, either
+    nothing, everything, or a single receiver) used when the exhaustive
+    omission universe is too large; it still contains every run construction
+    used by the paper's Section 6 proofs. *)
+
+module Bitset = Eba_util.Bitset
+
+val crash_behaviours : Params.t -> proc:int -> Pattern.behaviour list
+(** All canonical crash behaviours of [proc]: the in-horizon clean one plus,
+    for every round and every strict subset of the other processors, the
+    crash delivering exactly that subset. *)
+
+val omission_behaviours : Params.t -> proc:int -> Pattern.behaviour list
+(** All [2^(n-1)] per-round omission choices, over all rounds. *)
+
+val omission_behaviours_sparse : Params.t -> proc:int -> Pattern.behaviour list
+(** Per-round omission set restricted to [∅], a singleton, or all others. *)
+
+type flavour = Exhaustive | Sparse
+
+val patterns : ?flavour:flavour -> Params.t -> Pattern.t list
+(** Every pattern: for each faulty set of size [<= t], every combination of
+    per-processor behaviours.  [flavour] defaults to [Exhaustive] and only
+    affects omission mode. *)
+
+val count : ?flavour:flavour -> Params.t -> int
+(** [List.length (patterns p)] computed arithmetically, for guarding against
+    accidentally huge models. *)
+
+val random_pattern : Random.State.t -> Params.t -> Pattern.t
+(** A uniformly-chosen-shape random pattern for the operational layer:
+    failure count uniform in [0..t], then uniform behaviours. *)

@@ -1,0 +1,16 @@
+type t = Zero | One
+
+let zero = Zero
+let one = One
+
+let of_int = function
+  | 0 -> Zero
+  | 1 -> One
+  | v -> invalid_arg (Printf.sprintf "Value.of_int: %d" v)
+
+let to_int = function Zero -> 0 | One -> 1
+let negate = function Zero -> One | One -> Zero
+let equal a b = a = b
+let compare a b = Stdlib.compare (to_int a) (to_int b)
+let pp fmt v = Format.pp_print_int fmt (to_int v)
+let all = [ Zero; One ]

@@ -1,0 +1,24 @@
+(** Binary agreement values.
+
+    The paper restricts attention to binary agreement ([V = {0,1}]); the
+    whole construction extends verbatim to larger finite [V] but every
+    protocol in the paper is stated for the binary case. *)
+
+type t = Zero | One
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int 0 = Zero], [of_int 1 = One]; raises [Invalid_argument]
+    otherwise. *)
+
+val to_int : t -> int
+val negate : t -> t
+(** [negate Zero = One] and vice versa — the [1 - y] of the paper. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val all : t list
+(** [[Zero; One]]. *)

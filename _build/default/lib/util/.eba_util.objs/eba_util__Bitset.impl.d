@@ -1,0 +1,1 @@
+lib/util/bitset.ml: Format List Printf Stdlib String

@@ -1,0 +1,20 @@
+let cartesian lists =
+  let extend acc l =
+    List.concat_map (fun tuple -> List.map (fun x -> x :: tuple) l) acc
+  in
+  List.map List.rev (List.fold_left extend [ [] ] lists)
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else
+    let k = min k (n - k) in
+    let rec loop acc i = if i > k then acc else loop (acc * (n - k + i) / i) (i + 1) in
+    loop 1 1
+
+let assignments keys values =
+  cartesian (List.map (fun k -> List.map (fun v -> (k, v)) values) keys)
+
+let pow base e =
+  if e < 0 then invalid_arg "Combi.pow: negative exponent";
+  let rec loop acc e = if e = 0 then acc else loop (acc * base) (e - 1) in
+  loop 1 e

@@ -1,0 +1,17 @@
+(** Combinatorial enumeration helpers used by the adversary universes. *)
+
+val cartesian : 'a list list -> 'a list list
+(** [cartesian [l1; ...; lk]] is the list of all [k]-tuples (as lists)
+    drawing the [i]-th component from [li], in lexicographic order.
+    [cartesian []] is [[[]]]. *)
+
+val choose : int -> int -> int
+(** Binomial coefficient [choose n k]; 0 when [k < 0] or [k > n]. *)
+
+val assignments : 'a list -> 'b list -> ('a * 'b) list list
+(** [assignments keys values] enumerates every total function from [keys]
+    to [values], represented as an association list in key order. *)
+
+val pow : int -> int -> int
+(** Integer exponentiation.  Raises [Invalid_argument] on negative
+    exponents. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Eba Lazy List QCheck2 QCheck_alcotest

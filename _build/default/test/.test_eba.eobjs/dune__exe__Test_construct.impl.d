@@ -1,0 +1,1 @@
+test/test_construct.ml: Alcotest Eba Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_cross.ml: Array Eba Helpers List

@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Eba Helpers

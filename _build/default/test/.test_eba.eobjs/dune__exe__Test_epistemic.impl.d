@@ -1,0 +1,1 @@
+test/test_epistemic.ml: Array Eba Fun Helpers Lazy List Option Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_eventual.ml: Eba Helpers List

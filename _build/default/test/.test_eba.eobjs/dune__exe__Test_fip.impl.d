@@ -1,0 +1,1 @@
+test/test_fip.ml: Alcotest Array Eba Helpers List Option

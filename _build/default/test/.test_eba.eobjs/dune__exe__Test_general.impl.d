@@ -1,0 +1,1 @@
+test/test_general.ml: Eba Helpers List

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Eba Format Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Eba Float Helpers List

@@ -1,0 +1,1 @@
+test/test_pset.ml: Alcotest Eba Helpers List QCheck2 Stdlib

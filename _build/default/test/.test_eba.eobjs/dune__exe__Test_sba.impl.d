@@ -1,0 +1,1 @@
+test/test_sba.ml: Eba Helpers Option

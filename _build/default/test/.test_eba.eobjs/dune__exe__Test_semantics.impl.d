@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Eba Format Helpers List Option Printf Stdlib String

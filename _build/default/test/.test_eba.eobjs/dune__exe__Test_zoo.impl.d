@@ -1,0 +1,1 @@
+test/test_zoo.ml: Alcotest Array Eba Helpers List Option

@@ -1,0 +1,48 @@
+(* Shared fixtures: bounded models are expensive to build, so every suite
+   draws them from these lazy caches. *)
+
+module Params = Eba.Params
+module Model = Eba.Model
+module Formula = Eba.Formula
+
+type fixture = {
+  params : Params.t;
+  model : Model.t Lazy.t;
+  env : Formula.env Lazy.t;
+}
+
+let fixture ~n ~t ~horizon ~mode =
+  let params = Params.make ~n ~t ~horizon ~mode in
+  let model = lazy (Model.build params) in
+  let env = lazy (Formula.env (Lazy.force model)) in
+  { params; model; env }
+
+let crash_3_1_3 = fixture ~n:3 ~t:1 ~horizon:3 ~mode:Params.Crash
+let crash_4_1_3 = fixture ~n:4 ~t:1 ~horizon:3 ~mode:Params.Crash
+let crash_3_2_4 = fixture ~n:3 ~t:2 ~horizon:4 ~mode:Params.Crash
+let crash_4_2_4 = fixture ~n:4 ~t:2 ~horizon:4 ~mode:Params.Crash
+let omission_3_1_2 = fixture ~n:3 ~t:1 ~horizon:2 ~mode:Params.Omission
+let omission_3_1_3 = fixture ~n:3 ~t:1 ~horizon:3 ~mode:Params.Omission
+let omission_4_1_3 = fixture ~n:4 ~t:1 ~horizon:3 ~mode:Params.Omission
+let omission_4_2_2 = fixture ~n:4 ~t:2 ~horizon:2 ~mode:Params.Omission
+
+let model f = Lazy.force f.model
+let env f = Lazy.force f.env
+
+(* The standard small fixtures most epistemic suites iterate over. *)
+let small_fixtures =
+  [ ("crash n=3 t=1 T=3", crash_3_1_3); ("omission n=3 t=1 T=2", omission_3_1_2) ]
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* Deterministic per-model point picker for spot checks. *)
+let some_points m k =
+  let np = Model.npoints m in
+  List.init k (fun i -> i * 7919 mod np)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,71 @@
+module B = Eba.Bitset
+open Helpers
+
+(* model-based checking against sorted int lists *)
+let sorted_unique l = List.sort_uniq Stdlib.compare l
+
+let gen_elems = QCheck2.Gen.(list_size (int_bound 12) (int_bound 20))
+
+let unit_tests =
+  [
+    test "empty is empty" (fun () ->
+        check "empty" true (B.is_empty B.empty);
+        check_int "card" 0 (B.cardinal B.empty));
+    test "full n" (fun () ->
+        check_int "card" 5 (B.cardinal (B.full 5));
+        check "mem 4" true (B.mem 4 (B.full 5));
+        check "mem 5" false (B.mem 5 (B.full 5)));
+    test "add/remove/mem" (fun () ->
+        let s = B.add 3 (B.add 1 B.empty) in
+        check "mem 1" true (B.mem 1 s);
+        check "mem 2" false (B.mem 2 s);
+        check "removed" false (B.mem 3 (B.remove 3 s)));
+    test "to_list sorted" (fun () ->
+        Alcotest.(check (list int)) "order" [ 0; 2; 7 ] (B.to_list (B.of_list [ 7; 0; 2 ])));
+    test "subsets count" (fun () ->
+        check_int "2^4" 16 (List.length (B.subsets 4)));
+    test "subsets_upto counts" (fun () ->
+        check_int "<=1 of 4" 5 (List.length (B.subsets_upto 4 1));
+        check_int "<=2 of 4" 11 (List.length (B.subsets_upto 4 2)));
+    test "subsets_upto ordered by cardinality" (fun () ->
+        let cards = List.map B.cardinal (B.subsets_upto 5 3) in
+        check "ascending" true (List.sort Stdlib.compare cards = cards));
+    test "choose smallest" (fun () ->
+        Alcotest.(check (option int)) "min" (Some 2) (B.choose (B.of_list [ 5; 2; 9 ]));
+        Alcotest.(check (option int)) "none" None (B.choose B.empty));
+    test "full 0 and width guard" (fun () ->
+        check "full0" true (B.is_empty (B.full 0));
+        Alcotest.check_raises "neg" (Invalid_argument "Bitset: width -1 out of range")
+          (fun () -> ignore (B.full (-1))));
+  ]
+
+let prop_tests =
+  [
+    qtest "union = list union" gen_elems (fun l ->
+        let a = List.filteri (fun i _ -> i mod 2 = 0) l and b = List.filteri (fun i _ -> i mod 2 = 1) l in
+        B.to_list (B.union (B.of_list a) (B.of_list b)) = sorted_unique (a @ b));
+    qtest "inter = list inter" gen_elems (fun l ->
+        let a = List.filteri (fun i _ -> i mod 2 = 0) l and b = List.filteri (fun i _ -> i mod 2 = 1) l in
+        B.to_list (B.inter (B.of_list a) (B.of_list b))
+        = sorted_unique (List.filter (fun x -> List.mem x b) a));
+    qtest "diff = list diff" gen_elems (fun l ->
+        let a = List.filteri (fun i _ -> i mod 2 = 0) l and b = List.filteri (fun i _ -> i mod 2 = 1) l in
+        B.to_list (B.diff (B.of_list a) (B.of_list b))
+        = sorted_unique (List.filter (fun x -> not (List.mem x b)) a));
+    qtest "cardinal = length of to_list" gen_elems (fun l ->
+        let s = B.of_list l in
+        B.cardinal s = List.length (B.to_list s));
+    qtest "subset iff diff empty" gen_elems (fun l ->
+        let a = List.filteri (fun i _ -> i mod 2 = 0) l and b = List.filteri (fun i _ -> i mod 2 = 1) l in
+        let sa = B.of_list a and sb = B.of_list b in
+        B.subset sa sb = B.is_empty (B.diff sa sb));
+    qtest "fold visits each member once" gen_elems (fun l ->
+        let s = B.of_list l in
+        B.fold (fun _ acc -> acc + 1) s 0 = B.cardinal s);
+    qtest "filter keeps exactly the predicate" gen_elems (fun l ->
+        let s = B.of_list l in
+        let even x = x mod 2 = 0 in
+        B.to_list (B.filter even s) = List.filter even (B.to_list s));
+  ]
+
+let suite = ("bitset", unit_tests @ prop_tests)

@@ -1,0 +1,204 @@
+(* The Section 5 machinery: Prop 5.1 steps, the Theorem 5.2 two-step
+   optimizer, the Theorem 5.3 characterization, and the Prop 4.3 / 4.4
+   conditions (experiments E6, E7, E8). *)
+
+module F = Eba.Formula
+module M = Eba.Model
+module KB = Eba.Kb_protocol
+module Spec = Eba.Spec
+module Dom = Eba.Dominance
+module Con = Eba.Construct
+module Ch = Eba.Characterize
+module Zoo = Eba.Zoo
+module DS = Eba.Decision_set
+module Val = Eba.Value
+open Helpers
+
+(* Nontrivial-agreement seed protocols to optimize, per fixture. *)
+let seeds fixture =
+  let e = env fixture in
+  let m = model fixture in
+  match fixture.params.Eba.Params.mode with
+  | Eba.Params.Crash ->
+      [ ("F^Λ", KB.never_decide m); ("P0", Zoo.p0 e); ("P1", Zoo.p1 e) ]
+  | Eba.Params.Omission | Eba.Params.General_omission ->
+      [ ("F^Λ", KB.never_decide m); ("chain0", Zoo.chain_zero e) ]
+
+let nta_fixtures = [ ("crash n=3 t=1 T=3", crash_3_1_3); ("omission n=3 t=1 T=3", omission_3_1_3) ]
+
+let step_tests =
+  List.concat_map
+    (fun (fname, fixture) ->
+      [
+        test (Printf.sprintf "Prop 5.1: both steps give dominating NTAs [%s]" fname)
+          (fun () ->
+            let e = env fixture in
+            let m = model fixture in
+            List.iter
+              (fun (sname, pair) ->
+                let d = KB.decide m pair in
+                List.iter
+                  (fun (order_name, order) ->
+                    let stepped = Con.step order e pair in
+                    let d' = KB.decide m stepped in
+                    check
+                      (Printf.sprintf "%s/%s NTA" sname order_name)
+                      true
+                      (Spec.is_nontrivial_agreement (Spec.check d'));
+                    check
+                      (Printf.sprintf "%s/%s dominates" sname order_name)
+                      true (Dom.dominates d' d))
+                  [ ("zero-first", Con.Zero_first); ("one-first", Con.One_first) ])
+              (seeds fixture));
+        test (Printf.sprintf "Thm 5.2: two-step optimize is optimal [%s]" fname)
+          (fun () ->
+            let e = env fixture in
+            let m = model fixture in
+            List.iter
+              (fun (sname, pair) ->
+                List.iter
+                  (fun first ->
+                    let opt = Con.optimize ~first e pair in
+                    let d = KB.decide m opt in
+                    check (sname ^ " NTA") true
+                      (Spec.is_nontrivial_agreement (Spec.check d));
+                    check (sname ^ " optimal") true (Ch.is_optimal e d);
+                    check (sname ^ " dominates seed") true
+                      (Dom.dominates d (KB.decide m pair)))
+                  [ Con.Zero_first; Con.One_first ])
+              (seeds fixture));
+        test (Printf.sprintf "Thm 5.2: fixed point within two steps [%s]" fname)
+          (fun () ->
+            let e = env fixture in
+            List.iter
+              (fun (sname, pair) ->
+                let _, steps = Con.iterate_until_fixpoint e pair in
+                check (sname ^ " <=2 steps") true (steps <= 2))
+              (seeds fixture));
+        test
+          (Printf.sprintf "Thm 5.2: EBA seeds give optimal EBA [%s]" fname)
+          (fun () ->
+            let e = env fixture in
+            let m = model fixture in
+            List.iter
+              (fun (sname, pair) ->
+                let seed_report = Spec.check (KB.decide m pair) in
+                if Spec.is_eba seed_report then begin
+                  let opt = Con.optimize e pair in
+                  let d = KB.decide m opt in
+                  check (sname ^ " optimal EBA") true
+                    (Spec.is_eba (Spec.check d) && Ch.is_optimal e d)
+                end)
+              (seeds fixture));
+      ])
+    nta_fixtures
+
+let characterization_tests =
+  [
+    test "Prop 4.3 necessity holds for every NTA protocol" (fun () ->
+        List.iter
+          (fun (fname, fixture) ->
+            let e = env fixture in
+            let m = model fixture in
+            List.iter
+              (fun (sname, pair) ->
+                let d = KB.decide m pair in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "%s/%s" fname sname)
+                  []
+                  (List.map (fun f -> f.Ch.condition) (Ch.necessary e d)))
+              (seeds fixture))
+          nta_fixtures);
+    test "Thm 5.3 rejects the non-optimal P0" (fun () ->
+        let e = env crash_3_1_3 in
+        let m = model crash_3_1_3 in
+        check "P0 not optimal" false (Ch.is_optimal e (KB.decide m (Zoo.p0 e)));
+        check "failures witness it" true
+          (Ch.optimality_failures e (KB.decide m (Zoo.p0 e)) <> []));
+    test "Thm 5.3 accepts F^Λ,2 (crash)" (fun () ->
+        let e = env crash_3_1_3 in
+        let m = model crash_3_1_3 in
+        check "optimal" true (Ch.is_optimal e (KB.decide m (Zoo.f_lambda_2 e))));
+    test "Prop 4.4 sufficiency: F^Λ,2 satisfies the one-anchored variant" (fun () ->
+        let e = env crash_3_1_3 in
+        let m = model crash_3_1_3 in
+        let d = KB.decide m (Zoo.f_lambda_2 e) in
+        check "one-anchored" true (Ch.sufficient_one_anchored e d));
+    test "optimize is idempotent on the result" (fun () ->
+        let e = env crash_3_1_3 in
+        let fl2 = Zoo.f_lambda_2 e in
+        let again = Con.optimize ~first:Con.One_first e fl2 in
+        check "unchanged" true (KB.pair_equal fl2 again));
+  ]
+
+(* Random NTA protocols: delay P0's decisions by per-processor offsets;
+   delaying decisions preserves nontrivial agreement, so the construction
+   must dominate and optimize each of them. *)
+let delayed_p0 fixture d0 d1 =
+  let e = env fixture in
+  let m = model fixture in
+  let store = m.M.store in
+  let t1 = fixture.params.Eba.Params.t_failures + 1 in
+  let zero =
+    DS.of_views m (fun v ->
+        Eba.View.knows_zero store v && Eba.View.time store v >= d0)
+  in
+  let one =
+    DS.of_views m (fun v ->
+        Eba.View.time store v >= t1 + d1 && not (Eba.View.knows_zero store v))
+  in
+  ignore e;
+  { KB.zero; one }
+
+let random_delay_tests =
+  [
+    qtest ~count:9 "optimizing randomly delayed P0 variants (crash)"
+      QCheck2.Gen.(pair (int_bound 2) (int_bound 1))
+      (fun (d0, d1) ->
+        let fixture = crash_3_1_3 in
+        let e = env fixture in
+        let m = model fixture in
+        let pair = delayed_p0 fixture d0 d1 in
+        let d = KB.decide m pair in
+        Spec.is_nontrivial_agreement (Spec.check d)
+        &&
+        let opt = Con.optimize e pair in
+        let dopt = KB.decide m opt in
+        Spec.is_nontrivial_agreement (Spec.check dopt)
+        && Ch.is_optimal e dopt && Dom.dominates dopt d);
+  ]
+
+let value_symmetry_tests =
+  [
+    test "optimal protocols decide 0 exactly on B(e0 ∧ C□ e0)" (fun () ->
+        (* the two 5.3 equivalences, spot-checked through the public
+           formula API rather than Characterize *)
+        let fixture = crash_3_1_3 in
+        let e = env fixture in
+        let m = model fixture in
+        let pair = Zoo.f_lambda_2 e in
+        let d = KB.decide m pair in
+        let nf = Eba.Nonrigid.nonfaulty m in
+        let n_and_o = KB.conjoin e nf "N&O" pair.KB.one in
+        let e0 = F.exists_value m Val.Zero in
+        for i = 0 to 2 do
+          let lhs = KB.decided_atom e d Val.Zero i in
+          let rhs =
+            F.B
+              ( nf,
+                i,
+                F.And
+                  [
+                    e0;
+                    F.Cbox (n_and_o, e0);
+                    F.Not (KB.decided_atom e d Val.One i);
+                  ] )
+          in
+          check "iff on nonfaulty" true
+            (F.valid e (F.Implies (F.In (nf, i), F.Iff (lhs, rhs))))
+        done);
+  ]
+
+let suite =
+  ( "construct",
+    step_tests @ characterization_tests @ random_delay_tests @ value_symmetry_tests )

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "eba"
+    [
+      Test_bitset.suite;
+      Test_sim.suite;
+      Test_fip.suite;
+      Test_pset.suite;
+      Test_epistemic.suite;
+      Test_decision.suite;
+      Test_construct.suite;
+      Test_zoo.suite;
+      Test_protocols.suite;
+      Test_cross.suite;
+      Test_eventual.suite;
+      Test_general.suite;
+      Test_sba.suite;
+      Test_semantics.suite;
+      Test_misc.suite;
+    ]

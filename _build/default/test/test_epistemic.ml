@@ -1,0 +1,291 @@
+(* The epistemic engine: S5 for K_i (Prop 3.1), the Lemma 3.4 axioms for
+   continual common knowledge, agreement of the two C□ implementations,
+   and the relation C□ ⇒ C (strict). *)
+
+module F = Eba.Formula
+module N = Eba.Nonrigid
+module P = Eba.Pset
+module M = Eba.Model
+module K = Eba.Knowledge
+module Cm = Eba.Common
+module Ct = Eba.Continual
+module T = Eba.Temporal
+module Val = Eba.Value
+module B = Eba.Bitset
+open Helpers
+
+(* --- a pool of atoms and nonrigid sets per fixture, built once --- *)
+
+type pool = {
+  p_env : F.env;
+  p_model : M.t;
+  atoms : F.t array;
+  rigids : N.t array;  (* nonrigid sets to quantify over *)
+}
+
+let pool_of fixture =
+  let m = model fixture in
+  let e = env fixture in
+  let pseudo salt =
+    F.atom m (Printf.sprintf "rnd%d" salt) (fun pid -> (pid * 2654435761) lxor salt land 7 < 3)
+  in
+  let nf = N.nonfaulty m in
+  let everyone = N.everyone m in
+  let knows_zero =
+    N.restrict_by_view m ~name:"N&kz" nf (fun ~proc:_ ~view ->
+        Eba.View.knows_zero m.M.store view)
+  in
+  {
+    p_env = e;
+    p_model = m;
+    atoms =
+      [|
+        F.exists_value m Val.Zero;
+        F.exists_value m Val.One;
+        pseudo 17;
+        pseudo 40961;
+        F.Const true;
+        F.Const false;
+      |];
+    rigids = [| nf; everyone; knows_zero |];
+  }
+
+let pools = lazy (List.map (fun (name, f) -> (name, pool_of f)) small_fixtures)
+
+(* --- random formula generation --- *)
+
+let gen_formula pool =
+  let open QCheck2.Gen in
+  let atom = map (fun i -> pool.atoms.(i mod Array.length pool.atoms)) small_nat in
+  let nonrigid = map (fun i -> pool.rigids.(i mod Array.length pool.rigids)) small_nat in
+  let proc = int_bound (M.n pool.p_model - 1) in
+  sized
+  @@ fix (fun self size ->
+         if size = 0 then atom
+         else
+           let sub = self (size / 2) in
+           oneof
+             [
+               atom;
+               map (fun f -> F.Not f) sub;
+               map2 (fun a b -> F.And [ a; b ]) sub sub;
+               map2 (fun a b -> F.Or [ a; b ]) sub sub;
+               map2 (fun a b -> F.Implies (a, b)) sub sub;
+               map2 (fun i f -> F.K (i, f)) proc sub;
+               map3 (fun s i f -> F.B (s, i, f)) nonrigid proc sub;
+               map2 (fun s f -> F.E (s, f)) nonrigid sub;
+               map2 (fun s f -> F.C (s, f)) nonrigid sub;
+               map2 (fun s f -> F.Ebox (s, f)) nonrigid sub;
+               map2 (fun s f -> F.Cbox (s, f)) nonrigid sub;
+               map (fun f -> F.Always f) sub;
+               map (fun f -> F.Eventually f) sub;
+               map (fun f -> F.Throughout f) sub;
+             ])
+
+let gen_small pool = QCheck2.Gen.(gen_formula pool |> map Fun.id)
+
+(* check a schema (formula-valued function of random subformulas) over all
+   pooled fixtures *)
+let axiom ?(count = 60) name mk =
+  let pools = Lazy.force pools in
+  List.map
+    (fun (fixture_name, pool) ->
+      qtest ~count
+        (Printf.sprintf "%s [%s]" name fixture_name)
+        QCheck2.Gen.(pair (gen_small pool) (gen_small pool))
+        (fun (phi, psi) -> F.valid pool.p_env (mk pool phi psi)))
+    pools
+
+let proc0 = 0
+
+(* --- deterministic spot checks --- *)
+
+let spot_tests =
+  [
+    test "a 0-holder knows e0 at time 0" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let e0 = F.exists_value m Val.Zero in
+        let k = F.eval e (F.K (0, e0)) in
+        M.iter_points m (fun pid ->
+            if M.time_of_point m pid = 0 then begin
+              let run = M.run_of_point m pid in
+              let own_zero = Val.equal (Eba.Config.value run.M.config 0) Val.Zero in
+              if own_zero then check "knows" true (P.mem k pid)
+            end));
+    test "nobody knows another's value at time 0" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        (* K_0 e0 must fail at time 0 when 0's own value is 1, even if
+           someone else holds a 0 *)
+        let e0 = F.exists_value m Val.Zero in
+        let k = F.eval e (F.K (0, e0)) in
+        M.iter_points m (fun pid ->
+            if M.time_of_point m pid = 0 then begin
+              let run = M.run_of_point m pid in
+              if Val.equal (Eba.Config.value run.M.config 0) Val.One then
+                check "cannot know" false (P.mem k pid)
+            end));
+    test "knows_zero structurally = K_i e0 semantically" (fun () ->
+        (* the Section 2 claim that full-information views make the finest
+           distinctions: knowing of a 0 is exactly containing a 0 *)
+        List.iter
+          (fun (_, fixture) ->
+            let m = model fixture in
+            let e = env fixture in
+            let e0 = F.exists_value m Val.Zero in
+            for i = 0 to M.n m - 1 do
+              let k = F.eval e (F.K (i, e0)) in
+              M.iter_points m (fun pid ->
+                  let v = M.view_at m ~point:pid ~proc:i in
+                  check "match" (Eba.View.knows_zero m.M.store v) (P.mem k pid))
+            done)
+          small_fixtures);
+    test "E over empty set is vacuous" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nobody = N.rigid m ~name:"none" B.empty in
+        check "valid" true (F.valid e (F.E (nobody, F.Const false))));
+    test "C□ over empty set is vacuous" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nobody = N.rigid m ~name:"none" B.empty in
+        check "valid" true (F.valid e (F.Cbox (nobody, F.Const false))));
+    test "C□ strictly stronger than C" (fun () ->
+        (* C_N e0 holds somewhere (e.g. late in a unanimous-0 failure-free
+           run) while C□_N e0 holds nowhere in these models *)
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nf = N.nonfaulty m in
+        let e0 = F.exists_value m Val.Zero in
+        let c = F.eval e (F.C (nf, e0)) in
+        let cbox = F.eval e (F.Cbox (nf, e0)) in
+        check "C somewhere" false (P.is_empty c);
+        check "C□ nowhere" true (P.is_empty cbox);
+        check "C□ ⊆ C" true (P.subset cbox c));
+    test "common knowledge arises in unanimous runs" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nf = N.nonfaulty m in
+        let e0 = F.eval e (F.C (nf, F.exists_value m Val.Zero)) in
+        (* the all-zero failure-free run at the horizon *)
+        let pattern = Eba.Pattern.failure_free crash_3_1_3.params in
+        let config = Eba.Config.constant ~n:3 Val.Zero in
+        let run = Option.get (M.find_run m ~config ~pattern) in
+        check "C e0 at horizon" true (P.mem e0 (M.point m ~run:run.M.index ~time:3)));
+    test "iterated E approximates C from above" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nf = N.nonfaulty m in
+        let phi = F.eval e (F.exists_value m Val.Zero) in
+        let c = Cm.common m nf phi in
+        let rec chain prev k =
+          if k > 4 then ()
+          else begin
+            let ek = Cm.iterated m nf k phi in
+            check "decreasing" true (P.subset ek prev);
+            check "C below" true (P.subset c ek);
+            chain ek (k + 1)
+          end
+        in
+        chain (P.full (M.npoints m)) 1);
+  ]
+
+(* --- axioms as random-formula properties --- *)
+
+let s5_axioms =
+  axiom "K: knowledge axiom Kφ⇒φ" (fun _ phi _ -> F.Implies (F.K (proc0, phi), phi))
+  @ axiom "K: distribution" (fun _ phi psi ->
+        F.Implies
+          ( F.And [ F.K (proc0, phi); F.K (proc0, F.Implies (phi, psi)) ],
+            F.K (proc0, psi) ))
+  @ axiom "K: positive introspection" (fun _ phi _ ->
+        F.Implies (F.K (proc0, phi), F.K (proc0, F.K (proc0, phi))))
+  @ axiom "K: negative introspection" (fun _ phi _ ->
+        F.Implies (F.Not (F.K (proc0, phi)), F.K (proc0, F.Not (F.K (proc0, phi)))))
+
+let belief_axioms =
+  axiom "B: distribution" (fun pool phi psi ->
+        let s = pool.rigids.(0) in
+        F.Implies
+          ( F.And [ F.B (s, proc0, phi); F.B (s, proc0, F.Implies (phi, psi)) ],
+            F.B (s, proc0, psi) ))
+  @ axiom "B: membership-truth" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Implies (F.And [ F.B (s, proc0, phi); F.In (s, proc0) ], phi))
+  @ axiom "E distributes over ∧" (fun pool phi psi ->
+        let s = pool.rigids.(0) in
+        F.Iff (F.E (s, F.And [ phi; psi ]), F.And [ F.E (s, phi); F.E (s, psi) ]))
+
+let common_axioms =
+  axiom ~count:30 "C: fixed point C_Sφ ⇒ E_S(φ ∧ C_Sφ)" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Implies (F.C (s, phi), F.E (s, F.And [ phi; F.C (s, phi) ])))
+  @ axiom ~count:30 "C□ ⇒ C" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Implies (F.Cbox (s, phi), F.C (s, phi)))
+
+let continual_axioms =
+  axiom ~count:30 "C□: distribution (3.4b)" (fun pool phi psi ->
+        let s = pool.rigids.(0) in
+        F.Implies
+          ( F.And [ F.Cbox (s, phi); F.Cbox (s, F.Implies (phi, psi)) ],
+            F.Cbox (s, psi) ))
+  @ axiom ~count:30 "C□: positive introspection (3.4c)" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Implies (F.Cbox (s, phi), F.Cbox (s, F.Cbox (s, phi))))
+  @ axiom ~count:30 "C□: negative introspection (3.4d)" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Implies (F.Not (F.Cbox (s, phi)), F.Cbox (s, F.Not (F.Cbox (s, phi)))))
+  @ axiom ~count:30 "C□: fixed-point axiom (3.4e)" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Implies (F.Cbox (s, phi), F.Ebox (s, F.And [ phi; F.Cbox (s, phi) ])))
+  @ axiom ~count:30 "C□ constant along runs (3.4g)" (fun pool phi _ ->
+        let s = pool.rigids.(0) in
+        F.Iff (F.Cbox (s, phi), F.Throughout (F.Cbox (s, phi))))
+
+let temporal_axioms =
+  axiom "□φ ⇒ φ" (fun _ phi _ -> F.Implies (F.Always phi, phi))
+  @ axiom "⊟φ ⇒ □φ" (fun _ phi _ -> F.Implies (F.Throughout phi, F.Always phi))
+  @ axiom "◇ = ¬□¬" (fun _ phi _ ->
+        F.Iff (F.Eventually phi, F.Not (F.Always (F.Not phi))))
+  @ axiom "□ idempotent" (fun _ phi _ -> F.Iff (F.Always phi, F.Always (F.Always phi)))
+
+let implementation_agreement =
+  let pools = Lazy.force pools in
+  List.concat_map
+    (fun (fixture_name, pool) ->
+      List.map
+        (fun (sname, sidx) ->
+          qtest ~count:25
+            (Printf.sprintf "C□ fast = naive over %s [%s]" sname fixture_name)
+            (gen_small pool)
+            (fun phi ->
+              let s = pool.rigids.(sidx) in
+              let pset = F.eval pool.p_env phi in
+              let fast = Ct.cbox (Ct.closure pool.p_model s) pset in
+              let naive = Ct.cbox_naive pool.p_model s pset in
+              P.equal fast naive))
+        [ ("N", 0); ("All", 1); ("N&kz", 2) ])
+    pools
+
+let induction_rule =
+  (* Lemma 3.4(f): if ⊨ φ ⇒ E□_S(φ ∧ ψ) then ⊨ φ ⇒ C□_S ψ.  Checked as a
+     conditional property on random φ, ψ. *)
+  let pools = Lazy.force pools in
+  List.map
+    (fun (fixture_name, pool) ->
+      qtest ~count:60
+        (Printf.sprintf "C□: induction rule (3.4f) [%s]" fixture_name)
+        QCheck2.Gen.(pair (gen_small pool) (gen_small pool))
+        (fun (phi, psi) ->
+          let s = pool.rigids.(0) in
+          let premise = F.Implies (phi, F.Ebox (s, F.And [ phi; psi ])) in
+          (not (F.valid pool.p_env premise))
+          || F.valid pool.p_env (F.Implies (phi, F.Cbox (s, psi)))))
+    pools
+
+let suite =
+  ( "epistemic",
+    spot_tests @ s5_axioms @ belief_axioms @ common_axioms @ continual_axioms
+    @ temporal_axioms @ implementation_agreement @ induction_rule )

@@ -1,0 +1,88 @@
+(* Eventual common knowledge and the Section 3.2 protocol F0: C◇ is weaker
+   than the decision conditions need, which is the paper's motivation for
+   continual common knowledge. *)
+
+module F = Eba.Formula
+module M = Eba.Model
+module N = Eba.Nonrigid
+module P = Eba.Pset
+module KB = Eba.Kb_protocol
+module Spec = Eba.Spec
+module Dom = Eba.Dominance
+module Con = Eba.Construct
+module Zoo = Eba.Zoo
+module Val = Eba.Value
+open Helpers
+
+let tests =
+  [
+    test "◇C φ ⇒ C◇ φ (the paper's stated relation)" (fun () ->
+        List.iter
+          (fun (_, fixture) ->
+            let m = model fixture in
+            let e = env fixture in
+            let nf = N.nonfaulty m in
+            let e0 = F.exists_value m Val.Zero in
+            check "valid" true
+              (F.valid e (F.Implies (F.Eventually (F.C (nf, e0)), F.Cdia (nf, e0)))))
+          small_fixtures);
+    test "C□ φ ⇒ C φ ⇒ C◇ φ ladder" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nf = N.nonfaulty m in
+        let e0 = F.exists_value m Val.Zero in
+        check "C□⇒C◇" true
+          (F.valid e (F.Implies (F.Cbox (nf, e0), F.Cdia (nf, e0))));
+        check "C⇒C◇" true (F.valid e (F.Implies (F.C (nf, e0), F.Cdia (nf, e0))));
+        (* and strictly: C◇ holds somewhere C does not *)
+        let c = F.eval e (F.C (nf, e0)) in
+        let cd = F.eval e (F.Cdia (nf, e0)) in
+        check "strict" true (P.cardinal cd > P.cardinal c));
+    test "C◇ distributes like an E-based fixpoint" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nf = N.nonfaulty m in
+        let e0 = F.exists_value m Val.Zero in
+        (* fixed point property: C◇φ ⇒ ◇E(φ ∧ C◇φ) *)
+        check "fixpoint" true
+          (F.valid e
+             (F.Implies
+                ( F.Cdia (nf, e0),
+                  F.Eventually (F.E (nf, F.And [ e0; F.Cdia (nf, e0) ])) ))));
+    test "F0 is a nontrivial agreement protocol (crash & omission)" (fun () ->
+        List.iter
+          (fun (_, fixture) ->
+            let m = model fixture in
+            let e = env fixture in
+            let d = KB.decide m (Zoo.f_zero e) in
+            check "nta" true (Spec.is_nontrivial_agreement (Spec.check d)))
+          small_fixtures);
+    test "F0 is dominated by the two-step optimization of itself" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let f0 = Zoo.f_zero e in
+        let d0 = KB.decide m f0 in
+        let opt = Con.optimize e f0 in
+        let dopt = KB.decide m opt in
+        check "dominates" true (Dom.dominates dopt d0);
+        check "optimal" true (Eba.Characterize.is_optimal e dopt));
+    test "in crash mode C◇ already suffices: F0 ≡ F^Λ,2" (fun () ->
+        (* the paper's counterexample to F0 (Section 3.2) is an
+           omission-mode run; in the crash mode eventual common knowledge
+           collapses onto the optimum in these models *)
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let d0 = KB.decide m (Zoo.f_zero e) in
+        let dopt = KB.decide m (Zoo.f_lambda_2 e) in
+        check "equivalent" true (Dom.equivalent dopt d0);
+        check "F0 optimal here" true (Eba.Characterize.is_optimal e d0));
+    test "under omissions F0 is suboptimal and strictly dominated (§3.2)" (fun () ->
+        let m = model omission_3_1_3 in
+        let e = env omission_3_1_3 in
+        let d0 = KB.decide m (Zoo.f_zero e) in
+        check "not optimal" false (Eba.Characterize.is_optimal e d0);
+        let dstar = KB.decide m (Zoo.f_star e) in
+        check "strict" true (Dom.strictly_dominates dstar d0));
+  ]
+
+let suite = ("eventual", tests)

@@ -1,0 +1,151 @@
+(* The full-information layer: hash-consed views and enumerated models. *)
+
+module V = Eba.View
+module M = Eba.Model
+module Cfg = Eba.Config
+module Pat = Eba.Pattern
+module Params = Eba.Params
+module Val = Eba.Value
+module B = Eba.Bitset
+open Helpers
+
+let view_tests =
+  [
+    test "leaf identity" (fun () ->
+        let s = V.create_store ~n:3 in
+        let a = V.leaf s ~owner:0 Val.Zero in
+        let b = V.leaf s ~owner:0 Val.Zero in
+        let c = V.leaf s ~owner:0 Val.One in
+        let d = V.leaf s ~owner:1 Val.Zero in
+        check_int "same" a b;
+        check "value distinguishes" true (a <> c);
+        check "owner distinguishes" true (a <> d));
+    test "node identity and metadata" (fun () ->
+        let s = V.create_store ~n:3 in
+        let l0 = V.leaf s ~owner:0 Val.Zero in
+        let l1 = V.leaf s ~owner:1 Val.One in
+        let recv = [| None; Some l1; None |] in
+        let a = V.node s ~owner:0 ~prev:l0 ~received:recv in
+        let b = V.node s ~owner:0 ~prev:l0 ~received:[| None; Some l1; None |] in
+        check_int "hash-consed" a b;
+        check_int "time" 1 (V.time s a);
+        check_int "owner" 0 (V.owner s a);
+        check "heard" true (B.equal (B.singleton 1) (V.heard_from s a));
+        check "prev" true (V.prev s a = Some l0);
+        check "received" true (V.received s a 1 = Some l1);
+        check "not received" true (V.received s a 2 = None));
+    test "knows_zero propagates" (fun () ->
+        let s = V.create_store ~n:2 in
+        let z = V.leaf s ~owner:0 Val.Zero in
+        let o = V.leaf s ~owner:1 Val.One in
+        check "leaf zero" true (V.knows_zero s z);
+        check "leaf one" false (V.knows_zero s o);
+        let n = V.node s ~owner:1 ~prev:o ~received:[| Some z; None |] in
+        check "heard a zero" true (V.knows_zero s n);
+        let n2 = V.node s ~owner:1 ~prev:o ~received:[| None; None |] in
+        check "no zero" false (V.knows_zero s n2));
+    test "node validation" (fun () ->
+        let s = V.create_store ~n:2 in
+        let l0 = V.leaf s ~owner:0 Val.Zero in
+        let l1 = V.leaf s ~owner:1 Val.One in
+        Alcotest.check_raises "self message" (Invalid_argument "View.node: self-message")
+          (fun () -> ignore (V.node s ~owner:0 ~prev:l0 ~received:[| Some l0; None |]));
+        Alcotest.check_raises "owner mismatch"
+          (Invalid_argument "View.node: owner mismatch with prev") (fun () ->
+            ignore (V.node s ~owner:0 ~prev:l1 ~received:[| None; None |])));
+  ]
+
+let model_tests =
+  [
+    test "crash model sizes" (fun () ->
+        let m = model crash_3_1_3 in
+        check_int "runs = patterns * configs" (31 * 8) (M.nruns m);
+        check_int "points" (M.nruns m * 4) (M.npoints m));
+    test "point indexing roundtrip" (fun () ->
+        let m = model crash_3_1_3 in
+        List.iter
+          (fun pid ->
+            let run = M.run_index_of_point m pid and time = M.time_of_point m pid in
+            check_int "roundtrip" pid (M.point m ~run ~time))
+          (some_points m 50));
+    test "views are time-stamped" (fun () ->
+        let m = model crash_3_1_3 in
+        let store = m.M.store in
+        List.iter
+          (fun pid ->
+            let time = M.time_of_point m pid in
+            for i = 0 to 2 do
+              let v = M.view_at m ~point:pid ~proc:i in
+              check_int "time" time (V.time store v);
+              check_int "owner" i (V.owner store v)
+            done)
+          (some_points m 50));
+    test "cells partition points per owner" (fun () ->
+        let m = model crash_3_1_3 in
+        (* every point appears in exactly one cell per processor: total cell
+           mass = npoints * n *)
+        let total = Array.fold_left (fun acc c -> acc + Array.length c) 0 m.M.cells in
+        check_int "mass" (M.npoints m * 3) total);
+    test "cell members share the view" (fun () ->
+        let m = model crash_3_1_3 in
+        let store = m.M.store in
+        for v = 0 to V.size store - 1 do
+          let owner = V.owner store v in
+          Array.iter
+            (fun pid -> check_int "same view" v (M.view_at m ~point:pid ~proc:owner))
+            (M.cell m v)
+        done);
+    test "failure-free run is full-information" (fun () ->
+        let m = model crash_3_1_3 in
+        let pattern = Pat.failure_free crash_3_1_3.params in
+        let config = Cfg.of_bits ~n:3 0b101 in
+        match M.find_run m ~config ~pattern with
+        | None -> Alcotest.fail "run not found"
+        | Some run ->
+            let store = m.M.store in
+            (* at time 1 everybody heard from everybody *)
+            for i = 0 to 2 do
+              let v = M.view m ~run:run.M.index ~time:1 ~proc:i in
+              check_int "heard all" 2 (B.cardinal (V.heard_from store v))
+            done;
+            check "nonfaulty all" true
+              (B.equal (B.full 3) (M.nonfaulty m ~run:run.M.index)));
+    test "silent processor is never heard" (fun () ->
+        let m = model crash_3_1_3 in
+        let b = Pat.crash ~horizon:3 ~proc:0 ~round:1 ~recipients:B.empty in
+        let pattern = Pat.make crash_3_1_3.params [ b ] in
+        let config = Cfg.constant ~n:3 Val.One in
+        match M.find_run m ~config ~pattern with
+        | None -> Alcotest.fail "run not found"
+        | Some run ->
+            let store = m.M.store in
+            for time = 1 to 3 do
+              for i = 1 to 2 do
+                let v = M.view m ~run:run.M.index ~time ~proc:i in
+                check "no msg from 0" false (B.mem 0 (V.heard_from store v))
+              done
+            done);
+    test "corresponding views are shared across configs (Prop 2.2 shape)" (fun () ->
+        (* identical deliveries + identical initial values seen => identical
+           view ids, even under different patterns *)
+        let m = model crash_3_1_3 in
+        let p1 = Pat.failure_free crash_3_1_3.params in
+        let p2 = Pat.make crash_3_1_3.params [ Pat.clean_crash ~horizon:3 ~proc:0 ] in
+        let config = Cfg.of_bits ~n:3 0b011 in
+        let r1 = Option.get (M.find_run m ~config ~pattern:p1) in
+        let r2 = Option.get (M.find_run m ~config ~pattern:p2) in
+        for time = 0 to 3 do
+          for i = 0 to 2 do
+            check_int "same view"
+              (M.view m ~run:r1.M.index ~time ~proc:i)
+              (M.view m ~run:r2.M.index ~time ~proc:i)
+          done
+        done;
+        check "different nonfaulty sets" false
+          (B.equal (M.nonfaulty m ~run:r1.M.index) (M.nonfaulty m ~run:r2.M.index)));
+    test "omission model sizes" (fun () ->
+        let m = model omission_3_1_2 in
+        check_int "runs" (49 * 8) (M.nruns m));
+  ]
+
+let suite = ("fip", view_tests @ model_tests)

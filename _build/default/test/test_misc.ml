@@ -1,0 +1,106 @@
+(* Odds and ends: formula printing, runner validation, omission-mode
+   random-delay optimization, CLI-level protocol constructions. *)
+
+module F = Eba.Formula
+module M = Eba.Model
+module N = Eba.Nonrigid
+module KB = Eba.Kb_protocol
+module Spec = Eba.Spec
+module Dom = Eba.Dominance
+module Con = Eba.Construct
+module Ch = Eba.Characterize
+module DS = Eba.Decision_set
+module Val = Eba.Value
+open Helpers
+
+let pp_tests =
+  [
+    test "formula printer covers every operator" (fun () ->
+        let m = model crash_3_1_3 in
+        let nf = N.nonfaulty m in
+        let e0 = F.exists_value m Val.Zero in
+        let f =
+          F.Implies
+            ( F.And [ F.K (0, e0); F.B (nf, 1, F.Not e0); F.In (nf, 2) ],
+              F.Or
+                [
+                  F.C (nf, e0);
+                  F.Cbox (nf, F.Always e0);
+                  F.Cdia (nf, F.Eventually e0);
+                  F.Ebox (nf, F.Throughout e0);
+                  F.Iff (F.Empty nf, F.Const false);
+                ] )
+        in
+        let s = Format.asprintf "%a" F.pp f in
+        List.iter
+          (fun needle ->
+            check needle true
+              (let nl = String.length needle and ol = String.length s in
+               let rec find i = i + nl <= ol && (String.sub s i nl = needle || find (i + 1)) in
+               find 0))
+          [ "K_0"; "B[N]_1"; "C[N]"; "C□[N]"; "C◇[N]"; "E□[N]"; "□"; "◇"; "⊟"; "exists0" ]);
+  ]
+
+(* a delayed chain protocol stays NTA in omission mode; its optimization
+   must dominate and be optimal (the omission-mode twin of the crash-mode
+   random-delay property) *)
+let delayed_chain fixture delay =
+  let e = env fixture in
+  let m = model fixture in
+  let ch = Eba.Zoo.chain_zero e in
+  let store = m.M.store in
+  let late set =
+    DS.of_views m (fun v -> Eba.View.time store v >= delay && DS.mem set v)
+  in
+  { KB.zero = late ch.KB.zero; one = late ch.KB.one }
+
+let delay_tests =
+  [
+    qtest ~count:3 "optimizing delayed chain variants (omission)"
+      QCheck2.Gen.(int_bound 2)
+      (fun delay ->
+        let fixture = omission_3_1_2 in
+        let e = env fixture in
+        let m = model fixture in
+        let pair = delayed_chain fixture delay in
+        let d = KB.decide m pair in
+        Spec.is_nontrivial_agreement (Spec.check d)
+        &&
+        let opt = Con.optimize ~first:Con.One_first e pair in
+        let dopt = KB.decide m opt in
+        Spec.is_nontrivial_agreement (Spec.check dopt)
+        && Ch.is_optimal e dopt && Dom.dominates dopt d);
+  ]
+
+let runner_tests =
+  [
+    test "runner rejects malformed send arity" (fun () ->
+        let module Bad : Eba.Protocol_intf.PROTOCOL = struct
+          let name = "bad"
+
+          type state = unit
+          type msg = unit
+
+          let init _ ~me:_ _ = ()
+          let send _ () ~round:_ = [| None |] (* wrong arity *)
+          let receive _ () ~round:_ _ = ()
+          let output () = None
+        end in
+        let module R = Eba.Runner.Make (Bad) in
+        let params = crash_3_1_3.params in
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Runner: send must return one slot per destination")
+          (fun () ->
+            ignore
+              (R.run params
+                 (Eba.Config.constant ~n:3 Val.One)
+                 (Eba.Pattern.failure_free params))));
+    test "trace decisions printer" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let d = KB.decide m (Eba.Zoo.p0 e) in
+        let s = Format.asprintf "%a" (Eba.Trace.pp_decisions d ~run:0) () in
+        check "mentions p2" true (String.length s > 0 && String.sub s 0 2 = "p0"));
+  ]
+
+let suite = ("misc", pp_tests @ delay_tests @ runner_tests)

@@ -1,0 +1,81 @@
+(* Point-set bit vectors, model-checked against naive bool lists. *)
+
+module P = Eba.Pset
+open Helpers
+
+let len = 150 (* straddles word boundaries *)
+
+let gen_members = QCheck2.Gen.(list_size (int_bound 60) (int_bound (len - 1)))
+
+let of_list l =
+  let s = P.create len in
+  List.iter (P.add s) l;
+  s
+
+let to_list s =
+  let acc = ref [] in
+  P.iter s (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let sorted_unique l = List.sort_uniq Stdlib.compare l
+
+let unit_tests =
+  [
+    test "create empty / full" (fun () ->
+        check "empty" true (P.is_empty (P.create len));
+        check "full" true (P.is_full (P.full len));
+        check_int "full card" len (P.cardinal (P.full len)));
+    test "complement of empty is full" (fun () ->
+        check "eq" true (P.equal (P.complement (P.create len)) (P.full len)));
+    test "add and remove" (fun () ->
+        let s = P.create len in
+        P.add s 100;
+        check "mem" true (P.mem s 100);
+        P.remove s 100;
+        check "gone" false (P.mem s 100));
+    test "bounds checked" (fun () ->
+        Alcotest.check_raises "oob" (Invalid_argument "Pset: index out of bounds")
+          (fun () -> ignore (P.mem (P.create len) len)));
+    test "length mismatch rejected" (fun () ->
+        Alcotest.check_raises "mismatch" (Invalid_argument "Pset: length mismatch")
+          (fun () -> ignore (P.union (P.create 10) (P.create 11))));
+    test "init matches predicate" (fun () ->
+        let s = P.init len (fun i -> i mod 3 = 0) in
+        check_int "card" 50 (P.cardinal s));
+  ]
+
+let prop_tests =
+  [
+    qtest "union" QCheck2.Gen.(pair gen_members gen_members) (fun (a, b) ->
+        to_list (P.union (of_list a) (of_list b)) = sorted_unique (a @ b));
+    qtest "inter" QCheck2.Gen.(pair gen_members gen_members) (fun (a, b) ->
+        to_list (P.inter (of_list a) (of_list b))
+        = sorted_unique (List.filter (fun x -> List.mem x b) a));
+    qtest "diff" QCheck2.Gen.(pair gen_members gen_members) (fun (a, b) ->
+        to_list (P.diff (of_list a) (of_list b))
+        = sorted_unique (List.filter (fun x -> not (List.mem x b)) a));
+    qtest "complement involution" gen_members (fun a ->
+        P.equal (P.complement (P.complement (of_list a))) (of_list a));
+    qtest "complement disjoint and covering" gen_members (fun a ->
+        let s = of_list a in
+        let c = P.complement s in
+        P.is_empty (P.inter s c) && P.is_full (P.union s c));
+    qtest "cardinal" gen_members (fun a ->
+        P.cardinal (of_list a) = List.length (sorted_unique a));
+    qtest "subset" QCheck2.Gen.(pair gen_members gen_members) (fun (a, b) ->
+        P.subset (of_list a) (of_list b)
+        = List.for_all (fun x -> List.mem x b) a);
+    qtest "inter_ip agrees with inter" QCheck2.Gen.(pair gen_members gen_members)
+      (fun (a, b) ->
+        let acc = of_list a in
+        P.inter_ip acc (of_list b);
+        P.equal acc (P.inter (of_list a) (of_list b)));
+    qtest "for_all over members" gen_members (fun a ->
+        P.for_all (of_list a) (fun i -> List.mem i a));
+    qtest "choose is a member" gen_members (fun a ->
+        match P.choose (of_list a) with
+        | None -> a = []
+        | Some i -> List.mem i a);
+  ]
+
+let suite = ("pset", unit_tests @ prop_tests)

@@ -1,0 +1,121 @@
+(* Deeper semantic properties of the model construction itself:
+
+   - universe canonicity: no two enumerated patterns describe the same
+     in-horizon behaviour (same faulty set + same delivery matrix), so
+     models contain no duplicate runs and knowledge is not skewed by
+     double counting;
+   - knowledge is monotone in the run set: removing runs from the system
+     can only create knowledge, never destroy it (the formal reason the
+     adversary universe is part of every claim);
+   - trace rendering sanity. *)
+
+module M = Eba.Model
+module F = Eba.Formula
+module N = Eba.Nonrigid
+module P = Eba.Pset
+module Pat = Eba.Pattern
+module U = Eba.Universe
+module Params = Eba.Params
+module Cfg = Eba.Config
+module Val = Eba.Value
+open Helpers
+
+let delivery_matrix (params : Params.t) pattern =
+  let n = params.Params.n and horizon = params.Params.horizon in
+  let rows = ref [] in
+  for round = 1 to horizon do
+    for s = 0 to n - 1 do
+      for r = 0 to n - 1 do
+        if s <> r then
+          rows := Pat.delivers pattern ~round ~sender:s ~receiver:r :: !rows
+      done
+    done
+  done;
+  (Eba.Bitset.to_int (Pat.faulty pattern), !rows)
+
+let canonicity params =
+  let patterns = U.patterns params in
+  let keys = List.map (delivery_matrix params) patterns in
+  let sorted = List.sort_uniq Stdlib.compare keys in
+  check_int "all behaviours distinct" (List.length patterns) (List.length sorted)
+
+let canonicity_tests =
+  [
+    test "crash universe canonicity (n=3 t=1)" (fun () -> canonicity crash_3_1_3.params);
+    test "crash universe canonicity (n=4 t=1)" (fun () -> canonicity crash_4_1_3.params);
+    test "crash universe canonicity (n=3 t=2)" (fun () -> canonicity crash_3_2_4.params);
+    test "omission universe canonicity (n=3 t=1)" (fun () ->
+        canonicity omission_3_1_2.params);
+    test "general universe canonicity (n=3 t=1 T=2)" (fun () ->
+        canonicity (Params.make ~n:3 ~t:1 ~horizon:2 ~mode:Params.General_omission));
+  ]
+
+(* knowledge monotonicity: build the same parameter set over a restricted
+   configuration set; every B^N_i φ point that held in the full system
+   must hold at the corresponding point of the restricted one (fewer runs
+   to refute a belief). *)
+let monotonicity_tests =
+  [
+    test "restricting the run set only creates knowledge" (fun () ->
+        let params = crash_3_1_3.params in
+        let full = model crash_3_1_3 in
+        let configs = List.filter (fun c -> Cfg.to_bits c <> 0b111) (Cfg.all ~n:3) in
+        let small = M.build ~configs params in
+        let env_full = env crash_3_1_3 in
+        let env_small = F.env small in
+        let b_of env m =
+          let nf = N.nonfaulty m in
+          F.eval env (F.B (nf, 0, F.exists_value m Val.Zero))
+        in
+        let b_full = b_of env_full full and b_small = b_of env_small small in
+        (* match runs of the small model back to the full model *)
+        for run_s = 0 to M.nruns small - 1 do
+          let r = M.run_of_point small (M.point small ~run:run_s ~time:0) in
+          match M.find_run full ~config:r.M.config ~pattern:r.M.pattern with
+          | None -> Alcotest.fail "restricted run missing from full model"
+          | Some rf ->
+              for time = 0 to 3 do
+                let p_small = M.point small ~run:run_s ~time in
+                let p_full = M.point full ~run:rf.M.index ~time in
+                if P.mem b_full p_full then
+                  check "knowledge preserved" true (P.mem b_small p_small)
+              done
+        done);
+    test "and can strictly create it" (fun () ->
+        (* dropping the all-one configuration makes a 1-holder believe in a
+           0 at time 0 *)
+        let params = crash_3_1_3.params in
+        let configs = List.filter (fun c -> Cfg.to_bits c <> 0b111) (Cfg.all ~n:3) in
+        let small = M.build ~configs params in
+        let env_small = F.env small in
+        let nf = N.nonfaulty small in
+        let b = F.eval env_small (F.B (nf, 0, F.exists_value small Val.Zero)) in
+        let pattern = Pat.failure_free params in
+        let config = Cfg.of_bits ~n:3 0b011 in
+        (* processor 0 holds 0? bits: p0 = bit0 = 1 -> value One.  It holds
+           a 1 but every remaining run with p0=1 has someone else at 0. *)
+        let run = Option.get (M.find_run small ~config ~pattern) in
+        check "believes e0 at time 0" true (P.mem b (M.point small ~run:run.M.index ~time:0)));
+  ]
+
+let trace_tests =
+  [
+    test "trace rendering mentions every processor and decision" (fun () ->
+        let m = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let d = Eba.Kb_protocol.decide m (Eba.Zoo.f_lambda_2 e) in
+        let out = Format.asprintf "%a" (Eba.Trace.pp_run ~decisions:d m ~run:0) () in
+        let contains needle =
+          let nl = String.length needle and ol = String.length out in
+          let rec find i =
+            i + nl <= ol && (String.sub out i nl = needle || find (i + 1))
+          in
+          find 0
+        in
+        List.iter
+          (fun needle ->
+            check (Printf.sprintf "contains %S" needle) true (contains needle))
+          [ "p0"; "p1"; "p2"; "t=0"; "t=3"; "D:" ]);
+  ]
+
+let suite = ("semantics", canonicity_tests @ monotonicity_tests @ trace_tests)

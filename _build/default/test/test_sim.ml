@@ -1,0 +1,136 @@
+(* Units for the synchronous substrate: values, configurations, failure
+   patterns and adversary universes. *)
+
+module V = Eba.Value
+module Cfg = Eba.Config
+module Pat = Eba.Pattern
+module U = Eba.Universe
+module Params = Eba.Params
+module B = Eba.Bitset
+module Combi = Eba.Combi
+open Helpers
+
+let crash_params = crash_3_1_3.params
+let omission_params = omission_3_1_2.params
+
+let value_tests =
+  [
+    test "negate involutive" (fun () ->
+        List.iter (fun v -> check "inv" true (V.equal v (V.negate (V.negate v)))) V.all);
+    test "of_int/to_int" (fun () ->
+        check_int "0" 0 (V.to_int (V.of_int 0));
+        check_int "1" 1 (V.to_int (V.of_int 1));
+        Alcotest.check_raises "2" (Invalid_argument "Value.of_int: 2") (fun () ->
+            ignore (V.of_int 2)));
+  ]
+
+let config_tests =
+  [
+    test "bits roundtrip" (fun () ->
+        List.iter
+          (fun c -> check "rt" true (Cfg.equal c (Cfg.of_bits ~n:4 (Cfg.to_bits c))))
+          (Cfg.all ~n:4));
+    test "all count" (fun () -> check_int "2^3" 8 (List.length (Cfg.all ~n:3)));
+    test "exists_value" (fun () ->
+        let c = Cfg.of_bits ~n:3 0b010 in
+        check "e1" true (Cfg.exists_value c V.One);
+        check "e0" true (Cfg.exists_value c V.Zero);
+        check "all1 no zero" false (Cfg.exists_value (Cfg.constant ~n:3 V.One) V.Zero));
+    test "all_equal" (fun () ->
+        check "const" true (Cfg.all_equal (Cfg.constant ~n:3 V.Zero) = Some V.Zero);
+        check "mixed" true (Cfg.all_equal (Cfg.of_bits ~n:3 1) = None));
+  ]
+
+let pattern_tests =
+  [
+    test "failure-free delivers everything" (fun () ->
+        let p = Pat.failure_free crash_params in
+        check "deliver" true (Pat.delivers p ~round:2 ~sender:0 ~receiver:1);
+        check "faulty empty" true (B.is_empty (Pat.faulty p));
+        check_int "f" 0 (Pat.num_failures p));
+    test "crash semantics" (fun () ->
+        let b = Pat.crash ~horizon:3 ~proc:0 ~round:2 ~recipients:(B.singleton 1) in
+        let p = Pat.make crash_params [ b ] in
+        check "before" true (Pat.delivers p ~round:1 ~sender:0 ~receiver:2);
+        check "at, in set" true (Pat.delivers p ~round:2 ~sender:0 ~receiver:1);
+        check "at, out of set" false (Pat.delivers p ~round:2 ~sender:0 ~receiver:2);
+        check "after" false (Pat.delivers p ~round:3 ~sender:0 ~receiver:1);
+        check "others unaffected" true (Pat.delivers p ~round:3 ~sender:1 ~receiver:2);
+        check "crashed_before" true (Pat.crashed_before p ~proc:0 ~round:3);
+        check "not crashed yet" false (Pat.crashed_before p ~proc:0 ~round:2);
+        check_int "f" 1 (Pat.num_failures p));
+    test "clean crash counts as faulty but not failed" (fun () ->
+        let p = Pat.make crash_params [ Pat.clean_crash ~horizon:3 ~proc:1 ] in
+        check "faulty" true (B.mem 1 (Pat.faulty p));
+        check_int "f" 0 (Pat.num_failures p);
+        check "delivers" true (Pat.delivers p ~round:3 ~sender:1 ~receiver:0));
+    test "omission semantics" (fun () ->
+        let omits = [| B.singleton 1; B.empty |] in
+        let p = Pat.make omission_params [ Pat.omission ~horizon:2 ~proc:0 ~omits ] in
+        check "omitted" false (Pat.delivers p ~round:1 ~sender:0 ~receiver:1);
+        check "kept" true (Pat.delivers p ~round:1 ~sender:0 ~receiver:2);
+        check "next round ok" true (Pat.delivers p ~round:2 ~sender:0 ~receiver:1);
+        check_int "f" 1 (Pat.num_failures p));
+    test "mode mismatch rejected" (fun () ->
+        Alcotest.check_raises "crash in omission mode"
+          (Invalid_argument "Pattern.make: behaviour does not match failure mode")
+          (fun () ->
+            ignore
+              (Pat.make omission_params
+                 [ Pat.crash ~horizon:2 ~proc:0 ~round:1 ~recipients:B.empty ])));
+    test "too many faulty rejected" (fun () ->
+        Alcotest.check_raises "t+1 faulty"
+          (Invalid_argument "Pattern.make: more than t faulty processors")
+          (fun () ->
+            ignore
+              (Pat.make crash_params
+                 [ Pat.clean_crash ~horizon:3 ~proc:0; Pat.clean_crash ~horizon:3 ~proc:1 ])));
+    test "self-message rejected" (fun () ->
+        Alcotest.check_raises "self"
+          (Invalid_argument "Pattern.crash: a processor does not message itself")
+          (fun () ->
+            ignore (Pat.crash ~horizon:3 ~proc:0 ~round:1 ~recipients:(B.singleton 0))));
+  ]
+
+let universe_tests =
+  [
+    test "crash behaviour count" (fun () ->
+        (* clean + horizon * (2^(n-1) - 1) strict subsets *)
+        check_int "n=3 T=3" 10 (List.length (U.crash_behaviours crash_params ~proc:0)));
+    test "crash universe count formula" (fun () ->
+        check_int "n=3 t=1 T=3" 31 (U.count crash_params);
+        check_int "matches enumeration" (U.count crash_params)
+          (List.length (U.patterns crash_params)));
+    test "omission universe count formula" (fun () ->
+        check_int "n=3 t=1 T=2" 49 (U.count omission_params);
+        check_int "matches enumeration" (U.count omission_params)
+          (List.length (U.patterns omission_params)));
+    test "sparse omission universe is smaller (n=4)" (fun () ->
+        (* at n=3, {∅, singletons, all} happens to be every subset, so the
+           sparse flavour only thins out from n=4 up *)
+        let params4 = Params.make ~n:4 ~t:1 ~horizon:2 ~mode:Params.Omission in
+        let sparse = U.count ~flavour:U.Sparse params4 in
+        check "smaller" true (sparse < U.count params4);
+        check_int "matches enumeration" sparse
+          (List.length (U.patterns ~flavour:U.Sparse params4));
+        check_int "n=3 sparse = exhaustive" (U.count omission_params)
+          (U.count ~flavour:U.Sparse omission_params));
+    test "patterns are distinct" (fun () ->
+        let ps = U.patterns crash_params in
+        let sorted = List.sort_uniq Pat.compare ps in
+        check_int "no duplicates" (List.length ps) (List.length sorted));
+    test "random pattern respects t" (fun () ->
+        let rng = Random.State.make [| 42 |] in
+        for _ = 1 to 50 do
+          let p = U.random_pattern rng crash_params in
+          check "≤t" true (B.cardinal (Pat.faulty p) <= crash_params.Params.t_failures)
+        done);
+    test "cartesian" (fun () ->
+        check_int "2x3" 6 (List.length (Combi.cartesian [ [ 1; 2 ]; [ 3; 4; 5 ] ]));
+        check_int "empty" 1 (List.length (Combi.cartesian [])));
+    test "choose" (fun () ->
+        check_int "5C2" 10 (Combi.choose 5 2);
+        check_int "oob" 0 (Combi.choose 3 5));
+  ]
+
+let suite = ("sim", value_tests @ config_tests @ pattern_tests @ universe_tests)
