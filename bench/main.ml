@@ -94,6 +94,33 @@ let runner_tests =
         (Staged.stage (run_protocol (module Eba.Chain0) big_om big_config big_om_pattern));
     ]
 
+(* --- 1-domain vs N-domain sweep engine (summaries are bit-identical;
+       only the wall clock should differ) --- *)
+
+let sweep_jobs =
+  let avail = Eba.Parallel.available () in
+  if avail >= 4 then 4 else max 2 avail
+
+let parallel_tests =
+  let sweep jobs () =
+    ignore (Eba.Stats.exhaustive ~jobs (module Eba.P0opt_plus) om_params)
+  in
+  let kernel jobs () =
+    Eba.Parallel.with_jobs jobs (fun () ->
+        ignore (Eba.Knowledge.everyone_knows crash4_model nf e0_pts))
+  in
+  Test.make_grouped ~name:"parallel"
+    [
+      Test.make ~name:"Stats.exhaustive omission n=3 t=1 jobs=1" (Staged.stage (sweep 1));
+      Test.make
+        ~name:(Printf.sprintf "Stats.exhaustive omission n=3 t=1 jobs=%d" sweep_jobs)
+        (Staged.stage (sweep sweep_jobs));
+      Test.make ~name:"E_N closure n=4 t=2 jobs=1" (Staged.stage (kernel 1));
+      Test.make
+        ~name:(Printf.sprintf "E_N closure n=4 t=2 jobs=%d" sweep_jobs)
+        (Staged.stage (kernel sweep_jobs));
+    ]
+
 (* --- one bench per table / figure --- *)
 
 let table_tests =
@@ -152,6 +179,8 @@ let () =
   benchmark ~quota:0.5 engine_tests;
   print_endline "=== bechamel: operational runners ===";
   benchmark ~quota:0.5 runner_tests;
+  print_endline "=== bechamel: sweep engine, 1 domain vs N domains ===";
+  benchmark ~quota:1.0 parallel_tests;
   print_endline "=== bechamel: table regeneration ===";
   benchmark ~quota:1.0 table_tests;
   print_endline "=== bechamel: heavy table regeneration ===";

@@ -26,9 +26,33 @@ let mode_conv =
 let mode_arg =
   Arg.(value & opt mode_conv Eba.Params.Crash & info [ "mode" ] ~docv:"MODE" ~doc:"Failure mode: crash, omission, or general-omission.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for parallel sweeps and knowledge kernels; results \
+           are identical for every value.  0 (the default) defers to \
+           $(b,EBA_DOMAINS) (where 0 means all hardware domains), which \
+           itself defaults to 1.")
+
+(* Evaluated by every command before it runs, so [--jobs] steers the whole
+   process-wide engine.  Validates the flag and [EBA_DOMAINS] eagerly so a
+   bad value is a usage error up front, not an exception mid-sweep. *)
+let jobs_term =
+  let set j =
+    if j < 0 then Error (`Msg "--jobs must be >= 0")
+    else
+      match Eba.Parallel.set_jobs j; Eba.Parallel.jobs () with
+      | (_ : int) -> Ok ()
+      | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Term.(term_result (const set $ jobs_arg))
+
 let params_term =
-  let make n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
-  Term.(const make $ n_arg $ t_arg $ horizon_arg $ mode_arg)
+  let make () n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
+  Term.(const make $ jobs_term $ n_arg $ t_arg $ horizon_arg $ mode_arg)
 
 let protocol_names =
   [ "never"; "p0"; "p1"; "p0opt"; "f-lambda-2"; "chain0"; "f-star" ]
@@ -107,7 +131,7 @@ let experiments_cmd =
       & opt (some (enum (List.map (fun s -> (s, s)) ids))) None
       & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E12).")
   in
-  let run only =
+  let run () only =
     match only with
     | Some id ->
         (match Eba_harness.Experiments.run id with
@@ -119,7 +143,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's propositions (E1..E12) on exhaustive models.")
-    Term.(const run $ id_arg)
+    Term.(const run $ jobs_term $ id_arg)
 
 let tables_cmd =
   let which =
@@ -128,7 +152,7 @@ let tables_cmd =
       & opt (some string) None
       & info [ "only" ] ~docv:"TABLE" ~doc:"One of t1..t5, f1..f3; default all.")
   in
-  let run only =
+  let run () only =
     let fmt = Format.std_formatter in
     let module T = Eba_harness.Tables in
     (match only with
@@ -147,7 +171,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the benchmark tables and figure series (EXPERIMENTS.md).")
-    Term.(const run $ which)
+    Term.(const run $ jobs_term $ which)
 
 let () =
   let doc = "eventual Byzantine agreement via continual common knowledge" in

@@ -22,6 +22,7 @@
 (* foundation *)
 module Bitset = Eba_util.Bitset
 module Combi = Eba_util.Combi
+module Parallel = Eba_util.Parallel
 
 (* synchronous substrate *)
 module Value = Eba_sim.Value

@@ -1,28 +1,30 @@
 module Model = Eba_fip.Model
 module View = Eba_fip.View
 module Bitset = Eba_util.Bitset
+module Parallel = Eba_util.Parallel
 
 (* [known_per_view model s phi] computes, for every view [v] with owner [i],
    whether φ holds at every point of [cell v] where [i ∈ S]; this is the
-   kernel shared by [K], [B] and [E]. *)
+   kernel shared by [K], [B] and [E].  The model is immutable after
+   [Model.build] and each iteration writes only its own byte, so the
+   per-view loop parallelizes over domains. *)
 let known_per_view model s phi =
   let store = model.Model.store in
   let nv = View.size store in
   let known = Bytes.make nv '\001' in
-  for v = 0 to nv - 1 do
-    let i = View.owner store v in
-    let cell = Model.cell model v in
-    let ok =
-      Array.for_all
-        (fun q ->
-          (match s with
-          | Some s -> not (Nonrigid.mem s ~point:q ~proc:i)
-          | None -> false)
-          || Pset.mem phi q)
-        cell
-    in
-    if not ok then Bytes.set known v '\000'
-  done;
+  Parallel.parallel_for nv (fun v ->
+      let i = View.owner store v in
+      let cell = Model.cell model v in
+      let ok =
+        Array.for_all
+          (fun q ->
+            (match s with
+            | Some s -> not (Nonrigid.mem s ~point:q ~proc:i)
+            | None -> false)
+            || Pset.mem phi q)
+          cell
+      in
+      if not ok then Bytes.set known v '\000');
   known
 
 let knows model ~proc phi =

@@ -2,16 +2,20 @@ type t = { len : int; words : int array }
 
 let bpw = 62
 
+(* [bpw] low bits set, computed without shifting into the sign bit:
+   [max_int] already has [Sys.int_size - 1] one bits. *)
+let all_ones = max_int lsr (Sys.int_size - 1 - bpw)
+
 let nwords len = (len + bpw - 1) / bpw
 
 let create len = { len; words = Array.make (max 1 (nwords len)) 0 }
 
 let last_word_mask len =
   let rem = len mod bpw in
-  if rem = 0 then (1 lsl bpw) - 1 else (1 lsl rem) - 1
+  if rem = 0 then all_ones else all_ones lsr (bpw - rem)
 
 let full len =
-  let s = { len; words = Array.make (max 1 (nwords len)) ((1 lsl bpw) - 1) } in
+  let s = { len; words = Array.make (max 1 (nwords len)) all_ones } in
   if len = 0 then s.words.(0) <- 0
   else s.words.(nwords len - 1) <- last_word_mask len;
   s
@@ -34,11 +38,20 @@ let remove s i =
   check_index s i;
   s.words.(i / bpw) <- s.words.(i / bpw) land lnot (1 lsl (i mod bpw))
 
+(* Parallel over whole words: each index computes one word of the vector
+   from scratch, so domains never write to the same array slot and the
+   result is identical for every job count.  [f] must be pure (every caller
+   passes a read-only probe of an immutable model). *)
 let init len f =
   let s = create len in
-  for i = 0 to len - 1 do
-    if f i then add s i
-  done;
+  Eba_util.Parallel.parallel_for (nwords len) (fun w ->
+      let lo = w * bpw in
+      let hi = min len (lo + bpw) in
+      let word = ref 0 in
+      for i = lo to hi - 1 do
+        if f i then word := !word lor (1 lsl (i - lo))
+      done;
+      s.words.(w) <- !word);
   s
 
 let check_same a b = if a.len <> b.len then invalid_arg "Pset: length mismatch"
@@ -53,8 +66,9 @@ let inter = map2 ( land )
 let diff = map2 (fun x y -> x land lnot y)
 
 let complement a =
-  let s = { len = a.len; words = Array.map (fun w -> lnot w land ((1 lsl bpw) - 1)) a.words } in
-  if a.len > 0 then begin
+  let s = { len = a.len; words = Array.map (fun w -> lnot w land all_ones) a.words } in
+  if a.len = 0 then s.words.(0) <- 0
+  else begin
     let lw = nwords a.len - 1 in
     s.words.(lw) <- s.words.(lw) land last_word_mask a.len
   end;

@@ -12,7 +12,12 @@ val create : int -> t
 (** [create len] is the empty set over a universe of [len] points. *)
 
 val full : int -> t
+
 val init : int -> (int -> bool) -> t
+(** [init len f] is [{i | f i}].  [f] must be a pure predicate: when the
+    engine runs with more than one domain the indices are evaluated
+    concurrently (word-parallel), in no particular order. *)
+
 val copy : t -> t
 val length : t -> int
 

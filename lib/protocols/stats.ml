@@ -4,6 +4,7 @@ module Pattern = Eba_sim.Pattern
 module Universe = Eba_sim.Universe
 module Value = Eba_sim.Value
 module Bitset = Eba_util.Bitset
+module Parallel = Eba_util.Parallel
 
 type by_failures = {
   failures : int;
@@ -38,64 +39,102 @@ type acc = {
   mutable a_undecided : int;
 }
 
-let over (module P : Protocol_intf.PROTOCOL) (params : Params.t) workload =
-  let module R = Runner.Make (P) in
-  let n = params.Params.n in
-  let agreement_violations = ref 0
-  and validity_violations = ref 0
-  and undecided = ref 0
-  and time_sum = ref 0
-  and time_n = ref 0
-  and max_time = ref 0
-  and attempted = ref 0
-  and delivered = ref 0
-  and runs = ref 0 in
-  let per_f : (int, acc) Hashtbl.t = Hashtbl.create 8 in
-  let acc_for f =
-    match Hashtbl.find_opt per_f f with
-    | Some a -> a
-    | None ->
-        let a = { a_count = 0; a_time_sum = 0; a_time_n = 0; a_max = 0; a_undecided = 0 } in
-        Hashtbl.add per_f f a;
-        a
-  in
-  List.iter
-    (fun (config, pattern) ->
-      incr runs;
-      let trace = R.run params config pattern in
-      attempted := !attempted + trace.Runner.messages_attempted;
-      delivered := !delivered + trace.Runner.messages_delivered;
-      let nonfaulty = Bitset.diff (Bitset.full n) (Pattern.faulty pattern) in
-      let f = Pattern.num_failures pattern in
-      let a = acc_for f in
-      a.a_count <- a.a_count + 1;
-      let seen = ref None and agreement_bad = ref false and validity_bad = ref false in
-      let unanimous = Config.all_equal config in
-      Bitset.iter
-        (fun i ->
-          match trace.Runner.decisions.(i) with
-          | None ->
-              incr undecided;
-              a.a_undecided <- a.a_undecided + 1
-          | Some { Runner.at; value } ->
-              time_sum := !time_sum + at;
-              incr time_n;
-              if at > !max_time then max_time := at;
-              a.a_time_sum <- a.a_time_sum + at;
-              a.a_time_n <- a.a_time_n + 1;
-              if at > a.a_max then a.a_max <- at;
-              (match !seen with
-              | None -> seen := Some value
-              | Some v -> if not (Value.equal v value) then agreement_bad := true);
-              (match unanimous with
-              | Some v when not (Value.equal v value) -> validity_bad := true
-              | Some _ | None -> ()))
-        nonfaulty;
-      if !agreement_bad then incr agreement_violations;
-      if !validity_bad then incr validity_violations)
-    workload;
+(* Per-domain accumulator of a sweep.  Every field is an exact integer
+   count/sum/max, so merging accumulators in any fixed order reproduces the
+   sequential totals bit for bit; the float means are derived only at the
+   end, from the merged sums. *)
+type state = {
+  mutable s_runs : int;
+  mutable s_agreement : int;
+  mutable s_validity : int;
+  mutable s_undecided : int;
+  mutable s_time_sum : int;
+  mutable s_time_n : int;
+  mutable s_max_time : int;
+  mutable s_attempted : int;
+  mutable s_delivered : int;
+  s_per_f : (int, acc) Hashtbl.t;
+}
+
+let fresh_state () =
+  {
+    s_runs = 0;
+    s_agreement = 0;
+    s_validity = 0;
+    s_undecided = 0;
+    s_time_sum = 0;
+    s_time_n = 0;
+    s_max_time = 0;
+    s_attempted = 0;
+    s_delivered = 0;
+    s_per_f = Hashtbl.create 8;
+  }
+
+let acc_for st f =
+  match Hashtbl.find_opt st.s_per_f f with
+  | Some a -> a
+  | None ->
+      let a = { a_count = 0; a_time_sum = 0; a_time_n = 0; a_max = 0; a_undecided = 0 } in
+      Hashtbl.add st.s_per_f f a;
+      a
+
+let merge_state into from =
+  into.s_runs <- into.s_runs + from.s_runs;
+  into.s_agreement <- into.s_agreement + from.s_agreement;
+  into.s_validity <- into.s_validity + from.s_validity;
+  into.s_undecided <- into.s_undecided + from.s_undecided;
+  into.s_time_sum <- into.s_time_sum + from.s_time_sum;
+  into.s_time_n <- into.s_time_n + from.s_time_n;
+  into.s_max_time <- max into.s_max_time from.s_max_time;
+  into.s_attempted <- into.s_attempted + from.s_attempted;
+  into.s_delivered <- into.s_delivered + from.s_delivered;
+  Hashtbl.iter
+    (fun f (b : acc) ->
+      let a = acc_for into f in
+      a.a_count <- a.a_count + b.a_count;
+      a.a_time_sum <- a.a_time_sum + b.a_time_sum;
+      a.a_time_n <- a.a_time_n + b.a_time_n;
+      a.a_max <- max a.a_max b.a_max;
+      a.a_undecided <- a.a_undecided + b.a_undecided)
+    from.s_per_f
+
+let consume run n st (config, pattern) =
+  st.s_runs <- st.s_runs + 1;
+  let trace : Runner.trace = run config pattern in
+  st.s_attempted <- st.s_attempted + trace.Runner.messages_attempted;
+  st.s_delivered <- st.s_delivered + trace.Runner.messages_delivered;
+  let nonfaulty = Bitset.diff (Bitset.full n) (Pattern.faulty pattern) in
+  let f = Pattern.num_failures pattern in
+  let a = acc_for st f in
+  a.a_count <- a.a_count + 1;
+  let seen = ref None and agreement_bad = ref false and validity_bad = ref false in
+  let unanimous = Config.all_equal config in
+  Bitset.iter
+    (fun i ->
+      match trace.Runner.decisions.(i) with
+      | None ->
+          st.s_undecided <- st.s_undecided + 1;
+          a.a_undecided <- a.a_undecided + 1
+      | Some { Runner.at; value } ->
+          st.s_time_sum <- st.s_time_sum + at;
+          st.s_time_n <- st.s_time_n + 1;
+          if at > st.s_max_time then st.s_max_time <- at;
+          a.a_time_sum <- a.a_time_sum + at;
+          a.a_time_n <- a.a_time_n + 1;
+          if at > a.a_max then a.a_max <- at;
+          (match !seen with
+          | None -> seen := Some value
+          | Some v -> if not (Value.equal v value) then agreement_bad := true);
+          (match unanimous with
+          | Some v when not (Value.equal v value) -> validity_bad := true
+          | Some _ | None -> ()))
+    nonfaulty;
+  if !agreement_bad then st.s_agreement <- st.s_agreement + 1;
+  if !validity_bad then st.s_validity <- st.s_validity + 1
+
+let summary_of_state name st =
   let by_failures =
-    Hashtbl.fold (fun f a acc -> (f, a) :: acc) per_f []
+    Hashtbl.fold (fun f a acc -> (f, a) :: acc) st.s_per_f []
     |> List.sort (fun (f1, _) (f2, _) -> Stdlib.compare f1 f2)
     |> List.map (fun (f, a) ->
            {
@@ -109,29 +148,39 @@ let over (module P : Protocol_intf.PROTOCOL) (params : Params.t) workload =
            })
   in
   {
-    protocol = P.name;
-    runs = !runs;
-    agreement_violations = !agreement_violations;
-    validity_violations = !validity_violations;
-    undecided_nonfaulty = !undecided;
+    protocol = name;
+    runs = st.s_runs;
+    agreement_violations = st.s_agreement;
+    validity_violations = st.s_validity;
+    undecided_nonfaulty = st.s_undecided;
     mean_time =
-      (if !time_n = 0 then Float.nan else float_of_int !time_sum /. float_of_int !time_n);
-    max_time = !max_time;
+      (if st.s_time_n = 0 then Float.nan
+       else float_of_int st.s_time_sum /. float_of_int st.s_time_n);
+    max_time = st.s_max_time;
     by_failures;
-    messages_attempted = !attempted;
-    messages_delivered = !delivered;
+    messages_attempted = st.s_attempted;
+    messages_delivered = st.s_delivered;
   }
 
-let exhaustive ?(flavour = Universe.Exhaustive) p (params : Params.t) =
-  let configs = Config.all ~n:params.Params.n in
-  let patterns = Universe.patterns ~flavour params in
-  let workload =
-    List.concat_map (fun pattern -> List.map (fun c -> (c, pattern)) configs) patterns
+let over_seq ?jobs (module P : Protocol_intf.PROTOCOL) (params : Params.t) workload =
+  let module R = Runner.Make (P) in
+  let run config pattern = R.run params config pattern in
+  let st =
+    Parallel.map_reduce_seq ?jobs ~init:fresh_state
+      ~fold:(consume run params.Params.n)
+      ~merge:merge_state workload
   in
-  over p params workload
+  summary_of_state P.name st
 
-let sampled p (params : Params.t) ~seed ~samples =
+let over ?jobs p params workload = over_seq ?jobs p params (List.to_seq workload)
+
+let exhaustive ?(flavour = Universe.Exhaustive) ?jobs p (params : Params.t) =
+  over_seq ?jobs p params (Universe.workload_seq ~flavour params)
+
+let sampled ?jobs p (params : Params.t) ~seed ~samples =
   let rng = Random.State.make [| seed |] in
+  (* drawn sequentially so the workload is deterministic in [seed]; only the
+     runs themselves are distributed over domains *)
   let workload =
     List.init samples (fun _ ->
         let config =
@@ -140,7 +189,7 @@ let sampled p (params : Params.t) ~seed ~samples =
         in
         (config, Universe.random_pattern rng params))
   in
-  over p params workload
+  over ?jobs p params workload
 
 let pp_by_failures fmt b =
   Format.fprintf fmt "f=%d: %d runs, mean %.2f, max %d%s" b.failures b.count b.mean_time

@@ -34,26 +34,45 @@ type summary = {
 val run_one :
   (module Protocol_intf.PROTOCOL) -> Params.t -> Config.t -> Pattern.t -> Runner.trace
 
+val over_seq :
+  ?jobs:int ->
+  (module Protocol_intf.PROTOCOL) ->
+  Params.t ->
+  (Config.t * Pattern.t) Seq.t ->
+  summary
+(** Execute the protocol over a streamed workload as a parallel map-reduce:
+    runs are distributed over [jobs] domains (see {!Eba_util.Parallel} for
+    how the count is resolved), each domain folds into a private integer
+    accumulator, and accumulators are merged in a fixed order — so the
+    summary is bit-identical for every job count, and the workload sequence
+    is never materialized. *)
+
 val over :
+  ?jobs:int ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   (Config.t * Pattern.t) list ->
   summary
+(** {!over_seq} on an already-materialized workload. *)
 
 val exhaustive :
   ?flavour:Eba_sim.Universe.flavour ->
+  ?jobs:int ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   summary
-(** Every configuration × every pattern of the universe. *)
+(** Every configuration × every pattern of the universe, streamed from
+    {!Eba_sim.Universe.workload_seq}. *)
 
 val sampled :
+  ?jobs:int ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   seed:int ->
   samples:int ->
   summary
-(** Random configurations and patterns (deterministic in [seed]). *)
+(** Random configurations and patterns (deterministic in [seed] regardless
+    of [jobs]). *)
 
 val pp : Format.formatter -> summary -> unit
 val pp_table_row : Format.formatter -> summary -> unit

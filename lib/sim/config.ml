@@ -2,10 +2,21 @@ type t = Value.t array
 
 let make values = Array.copy values
 
+(* [1 lsl i] silently wraps once [i] reaches the sign bit, so the bit
+   encoding is only sound for up to 62 processors (the {!Eba_util.Bitset}
+   width); reject anything wider instead of corrupting values. *)
+let max_bits = 62
+
+let check_bits_width n =
+  if n < 0 || n > max_bits then
+    invalid_arg (Printf.sprintf "Config: n=%d outside the bit-packing range [0, %d]" n max_bits)
+
 let of_bits ~n bits =
+  check_bits_width n;
   Array.init n (fun i -> if bits land (1 lsl i) <> 0 then Value.One else Value.Zero)
 
 let to_bits c =
+  check_bits_width (Array.length c);
   let bits = ref 0 in
   Array.iteri (fun i v -> if Value.equal v Value.One then bits := !bits lor (1 lsl i)) c;
   !bits
@@ -22,7 +33,7 @@ let all ~n =
   List.init (1 lsl n) (fun bits -> of_bits ~n bits)
 
 let constant ~n v = Array.make n v
-let equal a b = to_bits a = to_bits b && Array.length a = Array.length b
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
 let compare a b = Stdlib.compare (Array.length a, to_bits a) (Array.length b, to_bits b)
 
 let pp fmt c =

@@ -10,9 +10,13 @@ val make : Value.t array -> t
 
 val of_bits : n:int -> int -> t
 (** [of_bits ~n bits] assigns processor [i] the value [One] iff bit [i] of
-    [bits] is set.  Inverse of {!to_bits}. *)
+    [bits] is set.  Inverse of {!to_bits}.  Raises [Invalid_argument] when
+    [n] is negative or exceeds 62, where the encoding would overflow. *)
 
 val to_bits : t -> int
+(** Inverse of {!of_bits}; raises [Invalid_argument] for configurations
+    wider than 62 processors. *)
+
 val n : t -> int
 val value : t -> int -> Value.t
 

@@ -94,25 +94,30 @@ let find_behaviour p proc =
   in
   loop 0
 
+(* Delivery queries are only meaningful for the rounds the pattern
+   describes.  Out-of-range rounds used to disagree across branches
+   (nonfaulty and crash senders answered [true] past the horizon, omitters
+   [false]), so they are now uniformly a programming error. *)
+let check_round p round =
+  if round < 1 || round > p.horizon then
+    invalid_arg "Pattern: round out of range [1, horizon]"
+
 let sender_delivers p ~round ~sender ~receiver =
+  check_round p round;
   match find_behaviour p sender with
   | None -> true
   | Some (Crashes c) ->
       if round < c.crash_round then true
       else if round = c.crash_round then Bitset.mem receiver c.crash_recipients
       else false
-  | Some (Omits o) ->
-      if round < 1 || round > p.horizon then false
-      else not (Bitset.mem receiver o.om_omits.(round - 1))
-  | Some (General g) ->
-      if round < 1 || round > p.horizon then false
-      else not (Bitset.mem receiver g.g_send.(round - 1))
+  | Some (Omits o) -> not (Bitset.mem receiver o.om_omits.(round - 1))
+  | Some (General g) -> not (Bitset.mem receiver g.g_send.(round - 1))
 
 let receiver_accepts p ~round ~sender ~receiver =
+  check_round p round;
   match find_behaviour p receiver with
   | None | Some (Crashes _) | Some (Omits _) -> true
-  | Some (General g) ->
-      round >= 1 && round <= p.horizon && not (Bitset.mem sender g.g_recv.(round - 1))
+  | Some (General g) -> not (Bitset.mem sender g.g_recv.(round - 1))
 
 let delivers p ~round ~sender ~receiver =
   sender_delivers p ~round ~sender ~receiver

@@ -76,7 +76,10 @@ val behaviours : t -> behaviour list
 
 val delivers : t -> round:int -> sender:int -> receiver:int -> bool
 (** Whether a message the protocol requires [sender] to send to [receiver]
-    in [round] is actually delivered. *)
+    in [round] is actually delivered.  [round] must lie in [1..horizon] —
+    the rounds the pattern describes; anything else raises
+    [Invalid_argument] (all failure kinds agree on this, where they used to
+    answer inconsistently past the horizon). *)
 
 val crashed_before : t -> proc:int -> round:int -> bool
 (** Crash mode only: has [proc] crashed strictly before [round] (so it sends

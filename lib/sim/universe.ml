@@ -7,19 +7,16 @@ let others (params : Params.t) proc =
 let crash_behaviours (params : Params.t) ~proc =
   let horizon = params.Params.horizon in
   let rest = others params proc in
-  let all_subsets = List.map Bitset.of_int (List.init (Bitset.to_int rest + 1) Fun.id) in
-  let strict = List.filter (fun s -> Bitset.subset s rest && not (Bitset.equal s rest)) all_subsets in
+  let strict =
+    List.filter (fun s -> not (Bitset.equal s rest)) (Bitset.subsets_of rest)
+  in
   let per_round round =
     List.map (fun recipients -> Pattern.crash ~horizon ~proc ~round ~recipients) strict
   in
   Pattern.clean_crash ~horizon ~proc
   :: List.concat_map per_round (Params.rounds params)
 
-let round_choices_exhaustive params proc =
-  let rest = others params proc in
-  List.filter
-    (fun s -> Bitset.subset s rest)
-    (Bitset.subsets params.Params.n)
+let round_choices_exhaustive params proc = Bitset.subsets_of (others params proc)
 
 let round_choices_sparse params proc =
   let rest = others params proc in
@@ -69,15 +66,28 @@ let behaviours_for ?(flavour = Exhaustive) (params : Params.t) ~proc =
   | Params.General_omission, Exhaustive -> general_behaviours params ~proc
   | Params.General_omission, Sparse -> general_behaviours_sparse params ~proc
 
-let patterns ?(flavour = Exhaustive) (params : Params.t) =
+(* The exhaustive path is streaming: only the per-processor behaviour lists
+   (small) are materialized, never the cartesian product across processors
+   or the pattern list itself. *)
+let patterns_seq ?(flavour = Exhaustive) (params : Params.t) =
   let faulty_sets = Bitset.subsets_upto params.Params.n params.Params.t_failures in
-  let for_set set =
-    let per_proc =
-      List.map (fun proc -> behaviours_for ~flavour params ~proc) (Bitset.to_list set)
-    in
-    List.map (Pattern.make params) (Combi.cartesian per_proc)
+  Seq.concat_map
+    (fun set ->
+      let per_proc =
+        List.map (fun proc -> behaviours_for ~flavour params ~proc) (Bitset.to_list set)
+      in
+      Seq.map (Pattern.make params) (Combi.cartesian_seq per_proc))
+    (List.to_seq faulty_sets)
+
+let patterns ?flavour (params : Params.t) = List.of_seq (patterns_seq ?flavour params)
+
+let workload_seq ?flavour ?configs (params : Params.t) =
+  let configs =
+    match configs with Some cs -> cs | None -> Config.all ~n:params.Params.n
   in
-  List.concat_map for_set faulty_sets
+  Seq.concat_map
+    (fun pattern -> Seq.map (fun config -> (config, pattern)) (List.to_seq configs))
+    (patterns_seq ?flavour params)
 
 let behaviour_count ?(flavour = Exhaustive) (params : Params.t) =
   let n = params.Params.n and horizon = params.Params.horizon in

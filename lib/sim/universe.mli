@@ -25,14 +25,34 @@ val omission_behaviours_sparse : Params.t -> proc:int -> Pattern.behaviour list
 
 type flavour = Exhaustive | Sparse
 
+val behaviours_for : ?flavour:flavour -> Params.t -> proc:int -> Pattern.behaviour list
+(** The canonical behaviours of one faulty processor under the params' mode
+    (the dispatcher behind the per-mode enumerators above). *)
+
+val patterns_seq : ?flavour:flavour -> Params.t -> Pattern.t Seq.t
+(** Every pattern, streamed: for each faulty set of size [<= t], every
+    combination of per-processor behaviours.  Nothing beyond the small
+    per-processor behaviour lists is materialized, so exhaustive sweeps can
+    consume universes far larger than memory.  [flavour] defaults to
+    [Exhaustive] and only affects omission modes.  The sequence is
+    persistent and enumerates in a fixed, deterministic order. *)
+
 val patterns : ?flavour:flavour -> Params.t -> Pattern.t list
-(** Every pattern: for each faulty set of size [<= t], every combination of
-    per-processor behaviours.  [flavour] defaults to [Exhaustive] and only
-    affects omission mode. *)
+(** [List.of_seq (patterns_seq p)] — kept for callers that want the list. *)
+
+val workload_seq :
+  ?flavour:flavour -> ?configs:Config.t list -> Params.t -> (Config.t * Pattern.t) Seq.t
+(** The exhaustive run workload: every pattern of {!patterns_seq} paired
+    with every initial configuration ([Config.all] by default), streamed in
+    pattern-major order. *)
 
 val count : ?flavour:flavour -> Params.t -> int
 (** [List.length (patterns p)] computed arithmetically, for guarding against
     accidentally huge models. *)
+
+val behaviour_count : ?flavour:flavour -> Params.t -> int
+(** Per-processor behaviour count computed arithmetically:
+    [List.length (behaviours_for p ~proc)] for any [proc]. *)
 
 val random_pattern : Random.State.t -> Params.t -> Pattern.t
 (** A uniformly-chosen-shape random pattern for the operational layer:

@@ -57,10 +57,19 @@ let choose s =
 let to_int s = s
 let of_int s = s
 
+(* Enumerate the subsets of [mask] directly with the [(sub - mask) land
+   mask] successor trick: 2^|mask| steps in increasing bit-pattern order,
+   instead of enumerating every integer up to [mask] and filtering. *)
+let subsets_of mask =
+  let rec loop sub acc =
+    let acc = sub :: acc in
+    if sub = mask then List.rev acc else loop ((sub - mask) land mask) acc
+  in
+  loop 0 []
+
 let subsets n =
   check_width n;
-  let rec loop k acc = if k < 0 then acc else loop (k - 1) (k :: acc) in
-  loop (full n) []
+  subsets_of (full n)
 
 let subsets_upto n k =
   let all = subsets n in

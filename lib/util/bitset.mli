@@ -58,6 +58,11 @@ val subsets : int -> t list
 (** [subsets n] enumerates all [2^n] subsets of [full n], in increasing
     bit-pattern order. *)
 
+val subsets_of : t -> t list
+(** [subsets_of s] enumerates all [2^(cardinal s)] subsets of [s], in
+    increasing bit-pattern order — without touching the non-members of
+    [s]. *)
+
 val subsets_upto : int -> int -> t list
 (** [subsets_upto n k] enumerates the subsets of [full n] of cardinality at
     most [k], smallest cardinality first. *)

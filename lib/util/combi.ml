@@ -4,6 +4,12 @@ let cartesian lists =
   in
   List.map List.rev (List.fold_left extend [ [] ] lists)
 
+let rec cartesian_seq = function
+  | [] -> Seq.return []
+  | l :: rest ->
+      let tails = cartesian_seq rest in
+      Seq.concat_map (fun x -> Seq.map (fun tl -> x :: tl) tails) (List.to_seq l)
+
 let choose n k =
   if k < 0 || k > n then 0
   else

@@ -5,6 +5,11 @@ val cartesian : 'a list list -> 'a list list
     drawing the [i]-th component from [li], in lexicographic order.
     [cartesian []] is [[[]]]. *)
 
+val cartesian_seq : 'a list list -> 'a list Seq.t
+(** {!cartesian} as a lazy sequence, in the same lexicographic order, so
+    huge products can be consumed without ever being materialized.  The
+    sequence is persistent: it may be re-traversed (tails are recomputed). *)
+
 val choose : int -> int -> int
 (** Binomial coefficient [choose n k]; 0 when [k < 0] or [k > n]. *)
 

@@ -1,0 +1,129 @@
+(* A small chunked domain pool for the sweep engine.
+
+   Work items are pulled in chunks from a shared cursor under a mutex, each
+   worker folds into its own accumulator, and the per-domain accumulators
+   are merged in a fixed (domain-index) order once every worker has joined.
+   All the merges used by the engine combine exact integer counters, so an
+   N-domain run produces bit-identical results to a sequential one; with an
+   effective job count of 1 no domain is ever spawned and the fold runs in
+   the calling domain, so sequential behaviour is exactly the old code. *)
+
+let available () = Domain.recommended_domain_count ()
+
+let env_jobs () =
+  match Sys.getenv_opt "EBA_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 0 -> Some (available ())
+      | Some j when j >= 1 -> Some j
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "EBA_DOMAINS: bad job count %S" s))
+
+(* [None] = no programmatic override; the environment (or 1) decides. *)
+let override : int option Atomic.t = Atomic.make None
+
+let set_jobs j =
+  if j < 0 then invalid_arg "Parallel.set_jobs: negative job count";
+  Atomic.set override (if j = 0 then None else Some j)
+
+let jobs () =
+  match Atomic.get override with
+  | Some j -> j
+  | None -> ( match env_jobs () with Some j -> j | None -> 1)
+
+let effective = function Some j when j >= 1 -> j | Some _ | None -> jobs ()
+
+let with_jobs j f =
+  let saved = Atomic.get override in
+  set_jobs j;
+  Fun.protect ~finally:(fun () -> Atomic.set override saved) f
+
+(* Run [main] in this domain and [n-1] copies in fresh domains; join them
+   all even when one raises, then re-raise the first failure. *)
+let run_workers n worker =
+  let failure : exn Atomic.t = Atomic.make Not_found in
+  let failed = Atomic.make false in
+  let guarded () =
+    try worker ()
+    with e ->
+      if not (Atomic.exchange failed true) then Atomic.set failure e;
+      None
+  in
+  let domains = Array.init (n - 1) (fun _ -> Domain.spawn guarded) in
+  let first = guarded () in
+  let rest = Array.map Domain.join domains in
+  if Atomic.get failed then raise (Atomic.get failure);
+  Array.to_list (Array.append [| first |] rest) |> List.filter_map Fun.id
+
+let parallel_for ?jobs n f =
+  let j = min (effective jobs) n in
+  if j <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let chunk = max 1 (n / (j * 8)) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          for i = start to min n (start + chunk) - 1 do
+            f i
+          done;
+          loop ()
+        end
+      in
+      loop ();
+      None
+    in
+    ignore (run_workers j worker : unit list)
+  end
+
+let default_chunk = 64
+
+let map_reduce_seq ?jobs ?(chunk = default_chunk) ~init ~fold ~merge seq =
+  if chunk < 1 then invalid_arg "Parallel.map_reduce_seq: chunk must be >= 1";
+  let j = effective jobs in
+  if j <= 1 then begin
+    let acc = init () in
+    Seq.iter (fold acc) seq;
+    acc
+  end
+  else begin
+    let lock = Mutex.create () in
+    let cursor = ref seq in
+    let next_chunk () =
+      Mutex.protect lock (fun () ->
+          let rec take k s acc =
+            if k = 0 then (acc, s)
+            else
+              match s () with
+              | Seq.Nil -> (acc, Seq.empty)
+              | Seq.Cons (x, tl) -> take (k - 1) tl (x :: acc)
+          in
+          let items, rest = take chunk !cursor [] in
+          cursor := rest;
+          List.rev items)
+    in
+    let worker () =
+      let acc = init () in
+      let rec loop () =
+        match next_chunk () with
+        | [] -> Some acc
+        | items ->
+            List.iter (fold acc) items;
+            loop ()
+      in
+      loop ()
+    in
+    match run_workers j worker with
+    | [] -> init ()
+    | acc :: rest ->
+        List.iter (merge acc) rest;
+        acc
+  end
+
+let map_reduce_list ?jobs ?chunk ~init ~fold ~merge l =
+  map_reduce_seq ?jobs ?chunk ~init ~fold ~merge (List.to_seq l)

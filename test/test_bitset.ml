@@ -30,6 +30,21 @@ let unit_tests =
     test "subsets_upto ordered by cardinality" (fun () ->
         let cards = List.map B.cardinal (B.subsets_upto 5 3) in
         check "ascending" true (List.sort Stdlib.compare cards = cards));
+    test "subsets_of counts and membership" (fun () ->
+        let mask = B.of_list [ 1; 3; 4 ] in
+        let subs = B.subsets_of mask in
+        check_int "2^3" 8 (List.length subs);
+        check "all subsets" true (List.for_all (fun s -> B.subset s mask) subs);
+        check "distinct" true
+          (List.length (List.sort_uniq B.compare subs) = List.length subs);
+        Alcotest.(check (list int)) "empty mask" [ 0 ]
+          (List.map B.to_int (B.subsets_of B.empty)));
+    test "subsets_of ascending, agrees with filtered subsets" (fun () ->
+        let mask = B.of_list [ 0; 2; 3 ] in
+        let subs = B.subsets_of mask in
+        check "ascending" true (List.sort B.compare subs = subs);
+        check "same as filter" true
+          (subs = List.filter (fun s -> B.subset s mask) (B.subsets 4)));
     test "choose smallest" (fun () ->
         Alcotest.(check (option int)) "min" (Some 2) (B.choose (B.of_list [ 5; 2; 9 ]));
         Alcotest.(check (option int)) "none" None (B.choose B.empty));

@@ -1,0 +1,139 @@
+(* The domain pool and the streaming sweep engine: parallel results must be
+   bit-identical to sequential ones, and the streamed enumerators must agree
+   with the closed-form counts. *)
+
+module Par = Eba.Parallel
+module U = Eba.Universe
+module Params = Eba.Params
+module Stats = Eba.Stats
+open Helpers
+
+let pool_tests =
+  [
+    test "jobs override and restore" (fun () ->
+        let outside = Par.jobs () in
+        Par.with_jobs 3 (fun () -> check_int "inside" 3 (Par.jobs ()));
+        check_int "restored" outside (Par.jobs ()));
+    test "parallel_for covers every index exactly once" (fun () ->
+        List.iter
+          (fun jobs ->
+            let n = 1000 in
+            let hits = Array.make n 0 in
+            Par.parallel_for ~jobs n (fun i -> hits.(i) <- hits.(i) + 1);
+            check "all once" true (Array.for_all (fun h -> h = 1) hits))
+          [ 1; 4 ]);
+    test "parallel_for n=0" (fun () ->
+        Par.parallel_for ~jobs:4 0 (fun _ -> failwith "should not run"));
+    test "map_reduce_seq sums match sequential" (fun () ->
+        let seq () = Seq.init 10_000 Fun.id in
+        let total jobs =
+          let r =
+            Par.map_reduce_seq ~jobs ~chunk:7 ~init:(fun () -> ref 0)
+              ~fold:(fun acc x -> acc := !acc + x)
+              ~merge:(fun acc other -> acc := !acc + !other)
+              (seq ())
+          in
+          !r
+        in
+        check_int "jobs=4" (total 1) (total 4));
+    test "map_reduce_seq empty sequence" (fun () ->
+        let r =
+          Par.map_reduce_seq ~jobs:4 ~init:(fun () -> ref 0)
+            ~fold:(fun acc _ -> incr acc)
+            ~merge:(fun acc other -> acc := !acc + !other)
+            Seq.empty
+        in
+        check_int "empty" 0 !r);
+    test "worker exceptions propagate" (fun () ->
+        check "raises" true
+          (try
+             Par.parallel_for ~jobs:4 100 (fun i -> if i = 57 then failwith "boom");
+             false
+           with Failure _ -> true));
+  ]
+
+(* Universe.count / behaviour_count vs the observed lengths of the streams,
+   across all three modes and both flavours (skipping parameter points whose
+   exhaustive universe is too large to walk in a unit test). *)
+let gen_params_flavour =
+  QCheck2.Gen.(
+    map
+      (fun ((n, t_raw, horizon), (mode, flavour)) ->
+        (Params.make ~n ~t:(min t_raw (n - 1)) ~horizon ~mode, flavour))
+      (pair
+         (triple (int_range 2 4) (int_range 0 2) (int_range 1 2))
+         (pair
+            (oneofl [ Params.Crash; Params.Omission; Params.General_omission ])
+            (oneofl [ U.Exhaustive; U.Sparse ]))))
+
+let count_tests =
+  [
+    qtest ~count:60 "patterns_seq length = count; behaviours = behaviour_count"
+      gen_params_flavour
+      (fun (params, flavour) ->
+        QCheck2.assume (U.count ~flavour params <= 20_000);
+        Seq.length (U.patterns_seq ~flavour params) = U.count ~flavour params
+        && List.for_all
+             (fun proc ->
+               List.length (U.behaviours_for ~flavour params ~proc)
+               = U.behaviour_count ~flavour params)
+             (Params.procs params));
+    test "patterns list agrees with stream" (fun () ->
+        let params = crash_3_1_3.params in
+        check_int "same length"
+          (List.length (U.patterns params))
+          (Seq.length (U.patterns_seq params)));
+    test "workload_seq is count * 2^n long" (fun () ->
+        let params = omission_3_1_2.params in
+        check_int "runs" (U.count params * 8) (Seq.length (U.workload_seq params)));
+  ]
+
+(* Bit-identical summaries: the whole point of the deterministic merge. *)
+let by_failures_eq (a : Stats.by_failures) (b : Stats.by_failures) =
+  a.Stats.failures = b.Stats.failures
+  && a.Stats.count = b.Stats.count
+  && Float.equal a.Stats.mean_time b.Stats.mean_time
+  && a.Stats.max_time = b.Stats.max_time
+  && a.Stats.undecided = b.Stats.undecided
+
+let summary_eq (a : Stats.summary) (b : Stats.summary) =
+  a.Stats.protocol = b.Stats.protocol
+  && a.Stats.runs = b.Stats.runs
+  && a.Stats.agreement_violations = b.Stats.agreement_violations
+  && a.Stats.validity_violations = b.Stats.validity_violations
+  && a.Stats.undecided_nonfaulty = b.Stats.undecided_nonfaulty
+  && Float.equal a.Stats.mean_time b.Stats.mean_time
+  && a.Stats.max_time = b.Stats.max_time
+  && List.length a.Stats.by_failures = List.length b.Stats.by_failures
+  && List.for_all2 by_failures_eq a.Stats.by_failures b.Stats.by_failures
+  && a.Stats.messages_attempted = b.Stats.messages_attempted
+  && a.Stats.messages_delivered = b.Stats.messages_delivered
+
+let sweep_determinism_tests =
+  let identical name (module P : Eba.Protocol_intf.PROTOCOL) params =
+    test name (fun () ->
+        let seq = Stats.exhaustive ~jobs:1 (module P) params in
+        let par = Stats.exhaustive ~jobs:4 (module P) params in
+        check "bit-identical summary" true (summary_eq seq par))
+  in
+  [
+    identical "exhaustive crash n=3 t=1: jobs=1 = jobs=4" (module Eba.Floodset)
+      crash_3_1_3.params;
+    identical "exhaustive omission n=3 t=1: jobs=1 = jobs=4" (module Eba.Chain0)
+      omission_3_1_3.params;
+    test "sampled is deterministic in seed across jobs" (fun () ->
+        let p = crash_3_1_3.params in
+        let a = Stats.sampled ~jobs:1 (module Eba.Floodset) p ~seed:7 ~samples:200 in
+        let b = Stats.sampled ~jobs:4 (module Eba.Floodset) p ~seed:7 ~samples:200 in
+        check "equal" true (summary_eq a b));
+    test "knowledge kernels agree across jobs" (fun () ->
+        let model = model crash_3_1_3 in
+        let e = env crash_3_1_3 in
+        let nf = Eba.Nonrigid.nonfaulty model in
+        let phi = Eba.Formula.eval e (Eba.Formula.exists_value model Eba.Value.zero) in
+        let seq = Par.with_jobs 1 (fun () -> Eba.Knowledge.everyone_knows model nf phi) in
+        let par = Par.with_jobs 4 (fun () -> Eba.Knowledge.everyone_knows model nf phi) in
+        check "equal point sets" true (Eba.Pset.equal seq par));
+  ]
+
+let suite = ("parallel", pool_tests @ count_tests @ sweep_determinism_tests)

@@ -42,6 +42,36 @@ let unit_tests =
     test "init matches predicate" (fun () ->
         let s = P.init len (fun i -> i mod 3 = 0) in
         check_int "card" 50 (P.cardinal s));
+    test "word-boundary lengths" (fun () ->
+        (* straddle the 62-bit word size: 0, 61, 62, 63 and 124 exercise
+           the last-word mask with rem = 0, bpw-1, 0, 1 and 0 *)
+        List.iter
+          (fun l ->
+            let f = P.full l in
+            check_int (Printf.sprintf "full %d card" l) l (P.cardinal f);
+            check (Printf.sprintf "full %d is_full" l) true (P.is_full f);
+            check
+              (Printf.sprintf "complement full %d empty" l)
+              true
+              (P.is_empty (P.complement f));
+            check
+              (Printf.sprintf "complement empty %d full" l)
+              true
+              (P.equal (P.complement (P.create l)) f);
+            check_int
+              (Printf.sprintf "init all %d" l)
+              l
+              (P.cardinal (P.init l (fun _ -> true)));
+            if l > 0 then begin
+              let s = P.create l in
+              P.add s (l - 1);
+              check (Printf.sprintf "top bit %d" l) true (P.mem s (l - 1));
+              check
+                (Printf.sprintf "complement drops top bit %d" l)
+                false
+                (P.mem (P.complement s) (l - 1))
+            end)
+          [ 0; 61; 62; 63; 124 ]);
   ]
 
 let prop_tests =

@@ -39,6 +39,17 @@ let config_tests =
     test "all_equal" (fun () ->
         check "const" true (Cfg.all_equal (Cfg.constant ~n:3 V.Zero) = Some V.Zero);
         check "mixed" true (Cfg.all_equal (Cfg.of_bits ~n:3 1) = None));
+    test "equal checks length first" (fun () ->
+        check "different n" false (Cfg.equal (Cfg.of_bits ~n:3 0b101) (Cfg.of_bits ~n:4 0b101));
+        check "same" true (Cfg.equal (Cfg.of_bits ~n:3 0b101) (Cfg.of_bits ~n:3 0b101)));
+    test "bit packing rejects overflowing widths" (fun () ->
+        Alcotest.check_raises "of_bits n=63"
+          (Invalid_argument "Config: n=63 outside the bit-packing range [0, 62]")
+          (fun () -> ignore (Cfg.of_bits ~n:63 0));
+        Alcotest.check_raises "to_bits n=63"
+          (Invalid_argument "Config: n=63 outside the bit-packing range [0, 62]")
+          (fun () -> ignore (Cfg.to_bits (Cfg.constant ~n:63 V.One)));
+        check_int "n=62 roundtrips" 0 (Cfg.to_bits (Cfg.of_bits ~n:62 0)));
   ]
 
 let pattern_tests =
@@ -90,6 +101,26 @@ let pattern_tests =
           (Invalid_argument "Pattern.crash: a processor does not message itself")
           (fun () ->
             ignore (Pat.crash ~horizon:3 ~proc:0 ~round:1 ~recipients:(B.singleton 0))));
+    test "delivery queries pinned to rounds 1..horizon" (fun () ->
+        (* all behaviour kinds must agree on out-of-range rounds: they are
+           rejected, for nonfaulty, crashed and omitting senders alike *)
+        let oob = Invalid_argument "Pattern: round out of range [1, horizon]" in
+        let patterns =
+          [
+            Pat.failure_free crash_params;
+            Pat.make crash_params
+              [ Pat.crash ~horizon:3 ~proc:0 ~round:2 ~recipients:B.empty ];
+            Pat.make omission_params
+              [ Pat.omission ~horizon:2 ~proc:0 ~omits:[| B.singleton 1; B.empty |] ];
+          ]
+        in
+        List.iter
+          (fun p ->
+            Alcotest.check_raises "round 0" oob (fun () ->
+                ignore (Pat.delivers p ~round:0 ~sender:0 ~receiver:1));
+            Alcotest.check_raises "past horizon" oob (fun () ->
+                ignore (Pat.delivers p ~round:100 ~sender:0 ~receiver:1)))
+          patterns);
   ]
 
 let universe_tests =
@@ -97,6 +128,25 @@ let universe_tests =
     test "crash behaviour count" (fun () ->
         (* clean + horizon * (2^(n-1) - 1) strict subsets *)
         check_int "n=3 T=3" 10 (List.length (U.crash_behaviours crash_params ~proc:0)));
+    test "behaviour counts match behaviour_count for every proc" (fun () ->
+        (* regression: the old enumeration walked every integer up to the
+           bit-pattern of [rest], so the count was only right by filtering;
+           proc 0 has the highest-valued [rest] and is the sharpest case *)
+        let check_params params flavour =
+          List.iter
+            (fun proc ->
+              check_int
+                (Format.asprintf "%a proc %d" Params.pp params proc)
+                (U.behaviour_count ~flavour params)
+                (List.length (U.behaviours_for ~flavour params ~proc)))
+            (Params.procs params)
+        in
+        List.iter
+          (fun mode ->
+            let params = Params.make ~n:4 ~t:2 ~horizon:2 ~mode in
+            check_params params U.Exhaustive;
+            check_params params U.Sparse)
+          [ Params.Crash; Params.Omission; Params.General_omission ]);
     test "crash universe count formula" (fun () ->
         check_int "n=3 t=1 T=3" 31 (U.count crash_params);
         check_int "matches enumeration" (U.count crash_params)
