@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Two parts:
+   Three parts:
 
    1. Bechamel micro/meso-benchmarks — one [Test.make] per reproduction
       table or figure (T1..T5, F1..F3: the code that regenerates each one)
@@ -10,13 +10,49 @@
 
    2. The actual tables — the series EXPERIMENTS.md records, printed after
       the timings so that `dune exec bench/main.exe` regenerates every
-      number in that file. *)
+      number in that file.
+
+   3. A machine-readable artifact: `--json FILE` writes every timing row,
+      the model-size counters and a deterministic metrics signature in the
+      schema-stable `eba-bench/1` format, so each PR can commit a
+      `BENCH_<PR>.json` and diff perf against the previous one.
+
+   Flags: `--json FILE` (emit the artifact), `--smoke` (tiny quotas, skip
+   the heavy group and the table regeneration — the CI schema check),
+   `--quota S` (override the per-group time budget). *)
+
+(* captured before [open Bechamel], which shadows the stub library's
+   [Monotonic_clock] with bechamel's internal module of the same name *)
+let monotonic_now = Monotonic_clock.now
 
 open Bechamel
 open Toolkit
 
 module F = Eba.Formula
 module M = Eba.Model
+
+(* --- command line --- *)
+
+let json_path = ref None
+let smoke = ref false
+let quota_override = ref None
+
+let () =
+  let specs =
+    [
+      ("--json", Arg.String (fun p -> json_path := Some p),
+       "FILE  write the eba-bench/1 JSON artifact to FILE");
+      ("--smoke", Arg.Set smoke,
+       "  minimal quotas, no heavy benches or table regeneration (CI)");
+      ("--quota", Arg.Float (fun q -> quota_override := Some q),
+       "SECONDS  per-group time budget (default 0.5/1.0, smoke 0.05)");
+    ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--json FILE] [--smoke] [--quota SECONDS]"
+
+let () = Eba.Metrics.set_clock (fun () -> Int64.to_float (monotonic_now ()) /. 1e9)
 
 (* --- prebuilt fixtures so benches measure the operation, not setup --- *)
 
@@ -36,6 +72,13 @@ let rng = Random.State.make [| 1234 |]
 let big_config = Eba.Config.of_bits ~n:16 0xAAAA
 let big_crash_pattern = Eba.Universe.random_pattern rng big_crash
 let big_om_pattern = Eba.Universe.random_pattern rng big_om
+
+let fixture_models =
+  [
+    ("crash n=3 t=1 T=3", crash_model);
+    ("crash n=4 t=2 T=4", crash4_model);
+    ("omission n=3 t=1 T=3", om_model);
+  ]
 
 let run_protocol (module P : Eba.Protocol_intf.PROTOCOL) params config pattern () =
   let module R = Eba.Runner.Make (P) in
@@ -149,7 +192,13 @@ let heavy_table_tests =
           T.f3_engine_scaling null_fmt ()));
     ]
 
-let benchmark ~quota tests =
+(* --- measurement --- *)
+
+(* Collected timing rows for the JSON artifact: (group, name, ns/run). *)
+let rows_acc : (string * string * float) list ref = ref []
+
+let benchmark ~group ~quota tests =
+  let quota = match !quota_override with Some q -> q | None -> if !smoke then 0.05 else quota in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
@@ -167,6 +216,7 @@ let benchmark ~quota tests =
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  rows_acc := !rows_acc @ List.map (fun (name, ns) -> (group, name, ns)) rows;
   List.iter
     (fun (name, ns) ->
       if ns >= 1e9 then Printf.printf "  %-52s %10.3f s/run\n" name (ns /. 1e9)
@@ -174,19 +224,98 @@ let benchmark ~quota tests =
       else Printf.printf "  %-52s %10.3f us/run\n" name (ns /. 1e3))
     rows
 
+(* --- the eba-bench/1 JSON artifact --- *)
+
+(* A deterministic metrics signature: run a fixed instrumented workload
+   (model build, E_N closure, one exhaustive sweep) with metrics on and
+   record every deterministic counter.  Independent of machine speed and
+   job count, so artifact diffs surface semantic engine changes. *)
+let metrics_signature () =
+  let was = Eba.Metrics.enabled () in
+  Eba.Metrics.reset ();
+  Eba.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Eba.Metrics.set_enabled was)
+    (fun () ->
+      let m = M.build crash_params in
+      let nf = Eba.Nonrigid.nonfaulty m in
+      let env = F.env m in
+      let e0 = F.eval env (F.exists_value m Eba.Value.zero) in
+      ignore (Eba.Knowledge.everyone_knows m nf e0);
+      ignore (Eba.Continual.cbox (Eba.Continual.closure m nf) e0);
+      ignore (Eba.Stats.exhaustive (module Eba.P0opt) crash_params);
+      Eba.Metrics.deterministic_counters ())
+
+let model_size_json (name, m) =
+  Eba.Json.Obj
+    [
+      ("name", Eba.Json.String name);
+      ("runs", Eba.Json.Int (M.nruns m));
+      ("points", Eba.Json.Int (M.npoints m));
+      ("views", Eba.Json.Int (Eba.View.size m.M.store));
+    ]
+
+let write_json path =
+  let entries =
+    List.map
+      (fun (group, name, ns) ->
+        (* bechamel reports "group/test"; the group is its own field *)
+        let prefix = group ^ "/" in
+        let name =
+          if String.starts_with ~prefix name then
+            String.sub name (String.length prefix)
+              (String.length name - String.length prefix)
+          else name
+        in
+        Eba.Json.Obj
+          [
+            ("group", Eba.Json.String group);
+            ("name", Eba.Json.String name);
+            ("ns_per_run", Eba.Json.Float ns);
+          ])
+      !rows_acc
+  in
+  let metrics =
+    List.map (fun (name, v) -> (name, Eba.Json.Int v)) (metrics_signature ())
+  in
+  let doc =
+    Eba.Json.Obj
+      [
+        ("schema", Eba.Json.String "eba-bench/1");
+        ("smoke", Eba.Json.Bool !smoke);
+        ( "jobs",
+          Eba.Json.Obj
+            [
+              ("configured", Eba.Json.Int (Eba.Parallel.jobs ()));
+              ("available", Eba.Json.Int (Eba.Parallel.available ()));
+            ] );
+        ("entries", Eba.Json.List entries);
+        ("models", Eba.Json.List (List.map model_size_json fixture_models));
+        ("metrics", Eba.Json.Obj metrics);
+      ]
+  in
+  Eba.Json.to_file path doc;
+  Printf.printf "wrote %s (%d timing entries)\n%!" path (List.length !rows_acc)
+
 let () =
   print_endline "=== bechamel: engine benches ===";
-  benchmark ~quota:0.5 engine_tests;
+  benchmark ~group:"engine" ~quota:0.5 engine_tests;
   print_endline "=== bechamel: operational runners ===";
-  benchmark ~quota:0.5 runner_tests;
+  benchmark ~group:"runner" ~quota:0.5 runner_tests;
   print_endline "=== bechamel: sweep engine, 1 domain vs N domains ===";
-  benchmark ~quota:1.0 parallel_tests;
-  print_endline "=== bechamel: table regeneration ===";
-  benchmark ~quota:1.0 table_tests;
-  print_endline "=== bechamel: heavy table regeneration ===";
-  benchmark ~quota:1.0 heavy_table_tests;
-  print_endline "";
-  print_endline "=== reproduction experiments (E1..E12) ===";
-  Format.printf "%a@." Eba_harness.Experiments.pp_summary (Eba_harness.Experiments.all ());
-  print_endline "=== reproduction tables and series ===";
-  Format.printf "%a@." Eba_harness.Tables.all ()
+  benchmark ~group:"parallel" ~quota:1.0 parallel_tests;
+  if not !smoke then begin
+    print_endline "=== bechamel: table regeneration ===";
+    benchmark ~group:"tables" ~quota:1.0 table_tests;
+    print_endline "=== bechamel: heavy table regeneration ===";
+    benchmark ~group:"tables-heavy" ~quota:1.0 heavy_table_tests
+  end;
+  (match !json_path with Some path -> write_json path | None -> ());
+  if not !smoke then begin
+    print_endline "";
+    print_endline "=== reproduction experiments (E1..E12) ===";
+    Format.printf "%a@." Eba_harness.Experiments.pp_summary (Eba_harness.Experiments.all ());
+    print_endline "=== reproduction tables and series ===";
+    Format.printf "%a@." Eba_harness.Tables.all ()
+  end;
+  Eba.Metrics.report_at_exit ()

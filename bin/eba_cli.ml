@@ -26,6 +26,39 @@ let mode_conv =
 let mode_arg =
   Arg.(value & opt mode_conv Eba.Params.Crash & info [ "mode" ] ~docv:"MODE" ~doc:"Failure mode: crash, omission, or general-omission.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "pretty") (some string) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Enable the engine's observability layer and print a metrics \
+           report (counters, gauges, span timings) to stderr on exit.  \
+           $(docv) is $(b,pretty) (default) or $(b,json).  The \
+           $(b,EBA_METRICS) environment variable ($(b,1)/$(b,pretty) or \
+           $(b,json)) enables the same report without a flag.")
+
+(* Like [jobs_term]: evaluated before every command so the flag steers the
+   process-wide metrics layer, with a usage error on a bad format. *)
+let metrics_term =
+  let set = function
+    | None -> Ok ()
+    | Some fmt -> (
+        let mode =
+          match String.lowercase_ascii fmt with
+          | "pretty" | "1" -> Some Eba.Metrics.Pretty
+          | "json" -> Some Eba.Metrics.Json_mode
+          | _ -> None
+        in
+        match mode with
+        | None -> Error (`Msg (Printf.sprintf "--metrics: unknown format %S" fmt))
+        | Some mode ->
+            Eba.Metrics.set_enabled true;
+            Eba.Metrics.set_mode mode;
+            Ok ())
+  in
+  Term.(term_result (const set $ metrics_arg))
+
 let jobs_arg =
   Arg.(
     value
@@ -51,8 +84,8 @@ let jobs_term =
   Term.(term_result (const set $ jobs_arg))
 
 let params_term =
-  let make () n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
-  Term.(const make $ jobs_term $ n_arg $ t_arg $ horizon_arg $ mode_arg)
+  let make () () n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
+  Term.(const make $ jobs_term $ metrics_term $ n_arg $ t_arg $ horizon_arg $ mode_arg)
 
 let protocol_names =
   [ "never"; "p0"; "p1"; "p0opt"; "f-lambda-2"; "chain0"; "f-star" ]
@@ -131,7 +164,7 @@ let experiments_cmd =
       & opt (some (enum (List.map (fun s -> (s, s)) ids))) None
       & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E12).")
   in
-  let run () only =
+  let run () () only =
     match only with
     | Some id ->
         (match Eba_harness.Experiments.run id with
@@ -143,7 +176,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's propositions (E1..E12) on exhaustive models.")
-    Term.(const run $ jobs_term $ id_arg)
+    Term.(const run $ jobs_term $ metrics_term $ id_arg)
 
 let tables_cmd =
   let which =
@@ -152,7 +185,7 @@ let tables_cmd =
       & opt (some string) None
       & info [ "only" ] ~docv:"TABLE" ~doc:"One of t1..t5, f1..f3; default all.")
   in
-  let run () only =
+  let run () () only =
     let fmt = Format.std_formatter in
     let module T = Eba_harness.Tables in
     (match only with
@@ -171,9 +204,13 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the benchmark tables and figure series (EXPERIMENTS.md).")
-    Term.(const run $ jobs_term $ which)
+    Term.(const run $ jobs_term $ metrics_term $ which)
 
 let () =
+  (* Spans get bechamel's CLOCK_MONOTONIC stub; the library default is
+     wall-clock [Unix.gettimeofday]. *)
+  Eba.Metrics.set_clock (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9);
+  Eba.Metrics.report_at_exit ();
   let doc = "eventual Byzantine agreement via continual common knowledge" in
   let info = Cmd.info "eba" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ model_cmd; check_cmd; optimize_cmd; experiments_cmd; tables_cmd ]))

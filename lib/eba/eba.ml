@@ -23,6 +23,8 @@
 module Bitset = Eba_util.Bitset
 module Combi = Eba_util.Combi
 module Parallel = Eba_util.Parallel
+module Metrics = Eba_util.Metrics
+module Json = Eba_util.Json
 
 (* synchronous substrate *)
 module Value = Eba_sim.Value

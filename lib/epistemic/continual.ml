@@ -1,5 +1,12 @@
 module Model = Eba_fip.Model
 module View = Eba_fip.View
+module Metrics = Eba_util.Metrics
+
+let s_closure = Metrics.span "continual.closure"
+let s_cbox = Metrics.span "continual.cbox"
+let m_unions = Metrics.counter "continual.uf_unions"
+let m_landable = Metrics.counter "continual.landable_points"
+let m_naive_iters = Metrics.counter "continual.naive_iterations"
 
 let ebox model s phi =
   Temporal.throughout model (Knowledge.everyone_knows model s phi)
@@ -29,11 +36,13 @@ type closure = {
 }
 
 let closure model s =
+  Metrics.time s_closure @@ fun () ->
   let store = model.Model.store in
   let nv = View.size store in
   let uf = Uf.create (Model.nruns model) in
   let landable = Pset.create (Model.npoints model) in
   let participates = Pset.create (Model.nruns model) in
+  let unions = ref 0 in
   for v = 0 to nv - 1 do
     let i = View.owner store v in
     let cell = Model.cell model v in
@@ -45,13 +54,20 @@ let closure model s =
           Pset.add landable q;
           let run = Model.run_index_of_point model q in
           Pset.add participates run;
-          if !first < 0 then first := run else Uf.union uf !first run
+          if !first < 0 then first := run
+          else begin
+            incr unions;
+            Uf.union uf !first run
+          end
         end)
       cell
   done;
+  Metrics.add m_unions !unions;
+  if Metrics.enabled () then Metrics.add m_landable (Pset.cardinal landable);
   { model; uf; landable; participates }
 
 let cbox cl phi =
+  Metrics.time s_cbox @@ fun () ->
   let model = cl.model in
   let nruns = Model.nruns model in
   (* a component root is bad if some landable point of the component
@@ -70,6 +86,7 @@ let cbox_naive model s phi =
   let x = ref (Pset.full (Model.npoints model)) in
   let continue = ref true in
   while !continue do
+    Metrics.incr m_naive_iters;
     let next = ebox model s (Pset.inter phi !x) in
     if Pset.equal next !x then continue := false else x := next
   done;

@@ -1,7 +1,12 @@
 module Model = Eba_fip.Model
 module View = Eba_fip.View
 module Bitset = Eba_util.Bitset
+module Metrics = Eba_util.Metrics
 module Parallel = Eba_util.Parallel
+
+let s_kernel = Metrics.span "knowledge.known_per_view"
+let m_views = Metrics.counter "knowledge.views_scanned"
+let m_probes = Metrics.counter "knowledge.cell_points_probed"
 
 (* [known_per_view model s phi] computes, for every view [v] with owner [i],
    whether φ holds at every point of [cell v] where [i ∈ S]; this is the
@@ -9,12 +14,15 @@ module Parallel = Eba_util.Parallel
    [Model.build] and each iteration writes only its own byte, so the
    per-view loop parallelizes over domains. *)
 let known_per_view model s phi =
+  Metrics.time s_kernel @@ fun () ->
   let store = model.Model.store in
   let nv = View.size store in
+  Metrics.add m_views nv;
   let known = Bytes.make nv '\001' in
   Parallel.parallel_for nv (fun v ->
       let i = View.owner store v in
       let cell = Model.cell model v in
+      if Metrics.enabled () then Metrics.add m_probes (Array.length cell);
       let ok =
         Array.for_all
           (fun q ->

@@ -1,5 +1,13 @@
 type t = { len : int; words : int array }
 
+module Metrics = Eba_util.Metrics
+
+(* Word-granularity traffic counters: how much bitset material the
+   epistemic kernels actually stream.  Each [init]/[map2] touches a fixed
+   number of words regardless of the job count, so both are deterministic. *)
+let m_words_init = Metrics.counter "pset.words_init"
+let m_words_map2 = Metrics.counter "pset.words_map2"
+
 let bpw = 62
 
 (* [bpw] low bits set, computed without shifting into the sign bit:
@@ -44,6 +52,7 @@ let remove s i =
    passes a read-only probe of an immutable model). *)
 let init len f =
   let s = create len in
+  Metrics.add m_words_init (nwords len);
   Eba_util.Parallel.parallel_for (nwords len) (fun w ->
       let lo = w * bpw in
       let hi = min len (lo + bpw) in
@@ -58,6 +67,7 @@ let check_same a b = if a.len <> b.len then invalid_arg "Pset: length mismatch"
 
 let map2 op a b =
   check_same a b;
+  Metrics.add m_words_map2 (Array.length a.words);
   let words = Array.init (Array.length a.words) (fun w -> op a.words.(w) b.words.(w)) in
   { len = a.len; words }
 

@@ -1,4 +1,5 @@
 module Bitset = Eba_util.Bitset
+module Metrics = Eba_util.Metrics
 module Value = Eba_sim.Value
 module Config = Eba_sim.Config
 module Params = Eba_sim.Params
@@ -19,6 +20,14 @@ type t = {
   runs : run array;
   cells : int array array;
 }
+
+let s_build = Metrics.span "model.build"
+let s_simulate = Metrics.span "model.build.simulate"
+let s_cells = Metrics.span "model.build.cells"
+let m_runs = Metrics.counter "model.runs"
+let m_points = Metrics.counter "model.points"
+let m_views = Metrics.counter "model.views"
+let m_cell_entries = Metrics.counter "model.cell_entries"
 
 let simulate_run store (params : Params.t) ~index config pattern =
   let n = params.Params.n and horizon = params.Params.horizon in
@@ -70,20 +79,34 @@ let build_cells store runs horizon n =
   cells
 
 let build_of_configs_patterns (params : Params.t) configs patterns =
-  let store = View.create_store ~n:params.Params.n in
-  let runs = ref [] in
-  let index = ref 0 in
-  List.iter
-    (fun pattern ->
-      List.iter
-        (fun config ->
-          runs := simulate_run store params ~index:!index config pattern :: !runs;
-          incr index)
-        configs)
-    patterns;
-  let runs = Array.of_list (List.rev !runs) in
-  let cells = build_cells store runs params.Params.horizon params.Params.n in
-  { params; store; runs; cells }
+  Metrics.time s_build (fun () ->
+      let store = View.create_store ~n:params.Params.n in
+      let runs = ref [] in
+      let index = ref 0 in
+      Metrics.time s_simulate (fun () ->
+          List.iter
+            (fun pattern ->
+              List.iter
+                (fun config ->
+                  runs :=
+                    simulate_run store params ~index:!index config pattern :: !runs;
+                  incr index)
+                configs)
+            patterns);
+      let runs = Array.of_list (List.rev !runs) in
+      let cells =
+        Metrics.time s_cells (fun () ->
+            build_cells store runs params.Params.horizon params.Params.n)
+      in
+      if Metrics.enabled () then begin
+        let nruns = Array.length runs in
+        let npoints = nruns * (params.Params.horizon + 1) in
+        Metrics.add m_runs nruns;
+        Metrics.add m_points npoints;
+        Metrics.add m_views (View.size store);
+        Metrics.add m_cell_entries (npoints * params.Params.n)
+      end;
+      { params; store; runs; cells })
 
 let build ?(flavour = Universe.Exhaustive) ?configs (params : Params.t) =
   let configs =

@@ -21,6 +21,14 @@ type outcome = {
   detail : string;
 }
 
+(* [Full] runs every claim at the sizes EXPERIMENTS.md records.  [Small]
+   replaces the one expensive fixture (crash n=4 t=2 T=4, used by E9's
+   t=2 deviation) with the smallest instance exhibiting the same
+   phenomenon (crash n=3 t=2 T=4 — see note N5); every other claim
+   already runs at its minimal instance.  The golden test pins the
+   [Small] verdicts on every commit. *)
+type scale = Small | Full
+
 (* memoized fixtures, built on first use *)
 let memo tbl key build =
   match Hashtbl.find_opt tbl key with
@@ -39,8 +47,14 @@ let env_of ~n ~t ~horizon ~mode =
 
 let crash_small () = env_of ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Crash
 let crash_medium () = env_of ~n:4 ~t:1 ~horizon:3 ~mode:Eba.Params.Crash
-let crash_t2 () = env_of ~n:4 ~t:2 ~horizon:4 ~mode:Eba.Params.Crash
+
+let crash_t2 = function
+  | Full -> env_of ~n:4 ~t:2 ~horizon:4 ~mode:Eba.Params.Crash
+  | Small -> env_of ~n:3 ~t:2 ~horizon:4 ~mode:Eba.Params.Crash
+
 let omission_small () = env_of ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Omission
+
+(* Prop 6.3 needs t > 1 and n >= t + 2; n=4 t=2 T=2 is already minimal. *)
 let omission_t2 () = env_of ~n:4 ~t:2 ~horizon:2 ~mode:Eba.Params.Omission
 
 let setting_of env = Format.asprintf "%a (exhaustive)" Eba.Params.pp (F.model env).M.params
@@ -244,7 +258,7 @@ let e8 () =
   }
 
 (* --- E9: Thm 6.1 / 6.2 --- *)
-let e9 () =
+let e9 scale =
   let c3 = crash_small () and c4 = crash_medium () in
   let thm61 =
     KB.pair_equal (Zoo.f_lambda_2 c3) (Zoo.crash_simple c3)
@@ -273,13 +287,15 @@ let e9 () =
     !ok
   in
   let thm62_t1 = equiv c4 (module Eba.P0opt) (Zoo.f_lambda_2 c4) in
-  let t2 = crash_t2 () in
+  let t2 = crash_t2 scale in
   let thm62_t2_fails = not (equiv t2 (module Eba.P0opt) (Zoo.f_lambda_2 t2)) in
   let p0opt_plus_t2 = equiv t2 (module Eba.P0opt_plus) (Zoo.f_lambda_2 t2) in
   {
     id = "E9";
     claim = "Thm 6.1/6.2: crash-mode closed form; P0opt ≡ F^L,2";
-    setting = "crash n=3,4 t=1 T=3 and n=4 t=2 T=4 (exhaustive)";
+    setting =
+      Printf.sprintf "crash n=3,4 t=1 T=3 and %s (exhaustive)"
+        (match scale with Full -> "n=4 t=2 T=4" | Small -> "n=3 t=2 T=4");
     holds = thm61 && thm62_t1 && thm62_t2_fails && p0opt_plus_t2;
     detail =
       Printf.sprintf
@@ -371,15 +387,17 @@ let e12 () =
         eba optimal dominates closed_form;
   }
 
-let experiments : (string * (unit -> outcome)) list =
+let experiments : (string * (scale -> outcome)) list =
+  let fixed f _scale = f () in
   [
-    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E1", fixed e1); ("E2", fixed e2); ("E3", fixed e3); ("E4", fixed e4);
+    ("E5", fixed e5); ("E6", fixed e6); ("E7", fixed e7); ("E8", fixed e8);
+    ("E9", e9); ("E10", fixed e10); ("E11", fixed e11); ("E12", fixed e12);
   ]
 
 let ids () = List.map fst experiments
-let run id = Option.map (fun f -> f ()) (List.assoc_opt id experiments)
-let all () = List.map (fun (_, f) -> f ()) experiments
+let run ?(scale = Full) id = Option.map (fun f -> f scale) (List.assoc_opt id experiments)
+let all ?(scale = Full) () = List.map (fun (_, f) -> f scale) experiments
 
 let pp fmt o =
   Format.fprintf fmt "%-4s %s@\n     claim:   %s@\n     setting: %s@\n     detail:  %s@\n"
@@ -390,3 +408,15 @@ let pp_summary fmt outcomes =
   let passed = List.length (List.filter (fun o -> o.holds) outcomes) in
   Format.fprintf fmt "%d/%d experiments reproduce the paper's claims@\n" passed
     (List.length outcomes)
+
+(* One line per experiment, nothing volatile: this is the surface the
+   golden test diffs against test/golden/experiments.expected. *)
+let pp_verdicts fmt outcomes =
+  List.iter
+    (fun o ->
+      Format.fprintf fmt "%s %s | %s | %s@\n" o.id
+        (if o.holds then "PASS" else "FAIL")
+        o.claim o.setting)
+    outcomes;
+  let passed = List.length (List.filter (fun o -> o.holds) outcomes) in
+  Format.fprintf fmt "total %d/%d PASS@\n" passed (List.length outcomes)

@@ -14,14 +14,26 @@ type outcome = {
   detail : string;  (** measured facts, incl. deviations from the paper *)
 }
 
-val all : unit -> outcome list
+type scale = Small | Full
+(** [Full] (the default) checks every claim at the sizes EXPERIMENTS.md
+    records; [Small] substitutes the minimal instance exhibiting the same
+    phenomenon for the one expensive fixture (E9's t=2 model drops from
+    crash n=4 t=2 T=4 to n=3 t=2 T=4).  The golden regression test runs
+    [Small] on every [dune runtest]. *)
+
+val all : ?scale:scale -> unit -> outcome list
 (** Runs every experiment (a few seconds of model building and
     model checking). *)
 
-val run : string -> outcome option
+val run : ?scale:scale -> string -> outcome option
 (** Run a single experiment by id ("E1" .. "E12"). *)
 
 val ids : unit -> string list
 
 val pp : Format.formatter -> outcome -> unit
 val pp_summary : Format.formatter -> outcome list -> unit
+
+val pp_verdicts : Format.formatter -> outcome list -> unit
+(** Stable one-line-per-experiment verdicts ([id PASS/FAIL | claim |
+    setting] plus a [total n/m PASS] footer) — the format pinned by
+    [test/golden/experiments.expected]. *)

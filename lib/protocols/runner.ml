@@ -2,6 +2,11 @@ module Params = Eba_sim.Params
 module Config = Eba_sim.Config
 module Pattern = Eba_sim.Pattern
 module Value = Eba_sim.Value
+module Metrics = Eba_util.Metrics
+
+let m_runs = Metrics.counter "runner.runs_simulated"
+let m_attempted = Metrics.counter "runner.messages_attempted"
+let m_delivered = Metrics.counter "runner.messages_delivered"
 
 type decision = { at : int; value : Value.t }
 
@@ -53,6 +58,11 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       done;
       note_outputs states decisions round
     done;
+    if Metrics.enabled () then begin
+      Metrics.incr m_runs;
+      Metrics.add m_attempted stats.attempted;
+      Metrics.add m_delivered stats.delivered
+    end;
     (states, decisions, stats)
 
   let run params config pattern =

@@ -4,7 +4,10 @@ module Pattern = Eba_sim.Pattern
 module Universe = Eba_sim.Universe
 module Value = Eba_sim.Value
 module Bitset = Eba_util.Bitset
+module Metrics = Eba_util.Metrics
 module Parallel = Eba_util.Parallel
+
+let s_sweep = Metrics.span "stats.sweep"
 
 type by_failures = {
   failures : int;
@@ -166,9 +169,10 @@ let over_seq ?jobs (module P : Protocol_intf.PROTOCOL) (params : Params.t) workl
   let module R = Runner.Make (P) in
   let run config pattern = R.run params config pattern in
   let st =
-    Parallel.map_reduce_seq ?jobs ~init:fresh_state
-      ~fold:(consume run params.Params.n)
-      ~merge:merge_state workload
+    Metrics.time s_sweep (fun () ->
+        Parallel.map_reduce_seq ?jobs ~init:fresh_state
+          ~fold:(consume run params.Params.n)
+          ~merge:merge_state workload)
   in
   summary_of_state P.name st
 

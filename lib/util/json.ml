@@ -1,0 +1,61 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let pp_string fmt s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape buf s;
+  Format.fprintf fmt "\"%s\"" (Buffer.contents buf)
+
+let pp_float fmt x =
+  if not (Float.is_finite x) then
+    (* JSON has no NaN/infinity; null is the conventional stand-in *)
+    Format.pp_print_string fmt "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Format.fprintf fmt "%.1f" x
+  else Format.fprintf fmt "%.17g" x
+
+let rec pp fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float x -> pp_float fmt x
+  | String s -> pp_string fmt s
+  | List [] -> Format.pp_print_string fmt "[]"
+  | List items ->
+      Format.fprintf fmt "@[<v 2>[@,%a@;<0 -2>]@]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,") pp)
+        items
+  | Obj [] -> Format.pp_print_string fmt "{}"
+  | Obj fields ->
+      let pp_field fmt (k, v) = Format.fprintf fmt "@[<hv 2>%a: %a@]" pp_string k pp v in
+      Format.fprintf fmt "@[<v 2>{@,%a@;<0 -2>}@]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,") pp_field)
+        fields
+
+let to_string j = Format.asprintf "%a@." pp j
+
+let to_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string j))

@@ -1,0 +1,26 @@
+(** A minimal JSON value type and printer, enough for the machine-readable
+    surfaces of this repository (metrics snapshots and the benchmark
+    artifact [BENCH_*.json]).  Emission only — nothing here parses.
+
+    Strings are escaped per RFC 8259; floats print with enough digits to
+    round-trip ([%.17g]) except for integral values, which print as
+    [x.0] so consumers can rely on a stable numeric shape. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with 2-space indentation and a deterministic layout
+    (object fields in the order given). *)
+
+val to_string : t -> string
+(** [Format.asprintf "%a" pp], with a trailing newline. *)
+
+val to_file : string -> t -> unit
+(** Writes [to_string] to a file, truncating it. *)

@@ -1,0 +1,180 @@
+type mode = Pretty | Json_mode
+
+(* The enabled flag is a plain ref on purpose: it is written before a run
+   and only read (racily but benignly) from worker domains, and a plain
+   load keeps the disabled path at one memory read. *)
+let enabled_flag = ref false
+let mode_ref = ref Pretty
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let mode () = !mode_ref
+let set_mode m = mode_ref := m
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+
+type kind = Counter | Gauge | Span
+
+type instrument = {
+  i_name : string;
+  i_kind : kind;
+  i_deterministic : bool;
+  count : int Atomic.t;  (* counter/gauge value; span call count *)
+  ns : int Atomic.t;  (* spans: accumulated nanoseconds *)
+}
+
+(* Registration is rare (module initialization) and guarded; recording
+   goes through the returned handle and never touches the table. *)
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let register ?(deterministic = true) kind name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> i
+      | None ->
+          let i =
+            {
+              i_name = name;
+              i_kind = kind;
+              i_deterministic = deterministic;
+              count = Atomic.make 0;
+              ns = Atomic.make 0;
+            }
+          in
+          Hashtbl.add registry name i;
+          i)
+
+type counter = instrument
+type gauge = instrument
+type span = instrument
+
+let counter ?deterministic name = register ?deterministic Counter name
+let gauge ?deterministic name = register ?deterministic Gauge name
+let span name = register ~deterministic:false Span name
+
+let add c k = if !enabled_flag then ignore (Atomic.fetch_and_add c.count k : int)
+let incr c = add c 1
+
+let record g v =
+  if !enabled_flag then begin
+    let rec loop () =
+      let cur = Atomic.get g.count in
+      if v > cur && not (Atomic.compare_and_set g.count cur v) then loop ()
+    in
+    loop ()
+  end
+
+let time sp f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = !clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = !clock () -. t0 in
+        ignore (Atomic.fetch_and_add sp.count 1 : int);
+        ignore (Atomic.fetch_and_add sp.ns (int_of_float (dt *. 1e9)) : int))
+      f
+  end
+
+type entry = {
+  e_name : string;
+  e_kind : kind;
+  e_deterministic : bool;
+  e_count : int;
+  e_seconds : float;
+}
+
+let snapshot () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold
+        (fun _ i acc ->
+          let count = Atomic.get i.count in
+          if count = 0 then acc
+          else
+            {
+              e_name = i.i_name;
+              e_kind = i.i_kind;
+              e_deterministic = i.i_deterministic;
+              e_count = count;
+              e_seconds = float_of_int (Atomic.get i.ns) /. 1e9;
+            }
+            :: acc)
+        registry [])
+  |> List.sort (fun a b -> String.compare a.e_name b.e_name)
+
+let deterministic_counters () =
+  snapshot ()
+  |> List.filter_map (fun e ->
+         if e.e_deterministic && e.e_kind <> Span then Some (e.e_name, e.e_count)
+         else None)
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          Atomic.set i.count 0;
+          Atomic.set i.ns 0)
+        registry)
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Span -> "span"
+
+let pp fmt entries =
+  Format.fprintf fmt "@[<v>metrics (%d instruments):@," (List.length entries);
+  List.iter
+    (fun e ->
+      match e.e_kind with
+      | Span ->
+          Format.fprintf fmt "  %-42s %10d calls %12.3f ms@," e.e_name e.e_count
+            (e.e_seconds *. 1e3)
+      | Counter | Gauge ->
+          Format.fprintf fmt "  %-42s %10d%s@," e.e_name e.e_count
+            (if e.e_deterministic then "" else "  (scheduling)"))
+    entries;
+  Format.fprintf fmt "@]"
+
+let to_json entries =
+  Json.Obj
+    (List.map
+       (fun e ->
+         let fields =
+           [
+             ("kind", Json.String (kind_name e.e_kind));
+             ("deterministic", Json.Bool e.e_deterministic);
+             ("count", Json.Int e.e_count);
+           ]
+         in
+         let fields =
+           if e.e_kind = Span then fields @ [ ("seconds", Json.Float e.e_seconds) ]
+           else fields
+         in
+         (e.e_name, Json.Obj fields))
+       entries)
+
+let report fmt () =
+  if !enabled_flag then
+    match !mode_ref with
+    | Pretty -> Format.fprintf fmt "%a@." pp (snapshot ())
+    | Json_mode -> Format.fprintf fmt "%a@." Json.pp (to_json (snapshot ()))
+
+let at_exit_registered = ref false
+
+let report_at_exit () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit (fun () -> report Format.err_formatter ())
+  end
+
+(* EBA_METRICS: enable (and pick the format) from the environment, so any
+   entry point — CLI, bench, examples, tests — can be observed without a
+   flag.  Unset, empty and "0" mean disabled. *)
+let () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "EBA_METRICS") with
+  | None | Some ("" | "0" | "false" | "off") -> ()
+  | Some "json" ->
+      set_enabled true;
+      set_mode Json_mode
+  | Some _ ->
+      set_enabled true;
+      set_mode Pretty

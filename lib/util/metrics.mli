@@ -1,0 +1,104 @@
+(** Process-wide observability: named counters, gauges and span timers for
+    the sweep/model-checking engine.
+
+    Design constraints, in order:
+
+    - {b Near-zero overhead when disabled.}  Every recording entry point
+      checks one global flag and returns; instrument sites hold their
+      handle statically (module-initialization time), so the hot path
+      never hashes a name.  Spans check the flag once per span, not per
+      measurement.
+    - {b Domain-safe.}  Counters are atomics; the engine bumps them from
+      worker domains during parallel sweeps.  Counter totals that describe
+      {e work done} (runs simulated, views interned, fixpoint iterations…)
+      are bit-identical for every job count; scheduling counters (chunks
+      per domain, domains spawned) are registered as
+      [~deterministic:false] and excluded from {!deterministic_counters}.
+    - {b Pluggable clock.}  The default clock is [Unix.gettimeofday]
+      (wall, not guaranteed monotonic).  Binaries that link bechamel
+      install its CLOCK_MONOTONIC stub via {!set_clock}; the core library
+      stays free of the C-stub dependency.
+
+    Enabling: [set_enabled true] programmatically, [--metrics[=json|pretty]]
+    on every [eba] subcommand, or the [EBA_METRICS] environment variable
+    ([1]/[pretty] or [json]) which is read once at module initialization. *)
+
+type mode = Pretty | Json_mode
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val mode : unit -> mode
+val set_mode : mode -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Install a clock returning seconds from an arbitrary epoch.  Affects
+    spans only. *)
+
+(** {1 Instruments}
+
+    [counter]/[gauge]/[span] register on first use and return the existing
+    instrument when called again with the same name (the kind and
+    determinism flag of the first registration win).  Obtain handles at
+    module-initialization time; recording through a handle is wait-free. *)
+
+type counter
+
+val counter : ?deterministic:bool -> string -> counter
+(** A monotone sum.  [deterministic] (default [true]) declares the total
+    independent of the parallel job count. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+type gauge
+
+val gauge : ?deterministic:bool -> string -> gauge
+(** A high-water mark: {!record} keeps the maximum value seen. *)
+
+val record : gauge -> int -> unit
+
+type span
+
+val span : string -> span
+(** A timer accumulating call count and total elapsed time.  Timings are
+    never deterministic. *)
+
+val time : span -> (unit -> 'a) -> 'a
+(** Runs the thunk, attributing its elapsed time to the span (also on
+    exceptions).  When disabled this is one flag check plus the call. *)
+
+(** {1 Reading} *)
+
+type kind = Counter | Gauge | Span
+
+type entry = {
+  e_name : string;
+  e_kind : kind;
+  e_deterministic : bool;
+  e_count : int;  (** counter/gauge value; for spans, the number of calls *)
+  e_seconds : float;  (** spans only; 0 otherwise *)
+}
+
+val snapshot : unit -> entry list
+(** Every registered instrument with a nonzero count, sorted by name. *)
+
+val deterministic_counters : unit -> (string * int) list
+(** Name-sorted [(name, value)] for deterministic counters and gauges
+    only — the comparable cross-job-count signature. *)
+
+val reset : unit -> unit
+(** Zeroes every instrument (registrations survive). *)
+
+val pp : Format.formatter -> entry list -> unit
+
+val to_json : entry list -> Json.t
+(** [{"name": {"kind": ..., "count": ..., "seconds": ...}, ...}] — an
+    object keyed by instrument name, schema-stable for diffing. *)
+
+val report : Format.formatter -> unit -> unit
+(** Prints the current snapshot in the configured {!mode}; does nothing
+    when disabled. *)
+
+val report_at_exit : unit -> unit
+(** Registers (once) an [at_exit] hook printing {!report} to stderr. *)

@@ -10,6 +10,18 @@
 
 let available () = Domain.recommended_domain_count ()
 
+(* Scheduling observability: totals depend on the job count and chunk
+   geometry, so none of these are deterministic across [--jobs] values. *)
+let m_spawned = Metrics.counter ~deterministic:false "parallel.domains_spawned"
+let m_chunks = Metrics.counter ~deterministic:false "parallel.chunks"
+let m_chunk_max = Metrics.gauge ~deterministic:false "parallel.max_chunks_per_domain"
+
+let note_chunks per_domain =
+  if Metrics.enabled () then begin
+    Metrics.add m_chunks per_domain;
+    Metrics.record m_chunk_max per_domain
+  end
+
 let env_jobs () =
   match Sys.getenv_opt "EBA_DOMAINS" with
   | None -> None
@@ -50,6 +62,7 @@ let run_workers n worker =
       if not (Atomic.exchange failed true) then Atomic.set failure e;
       None
   in
+  Metrics.add m_spawned (n - 1);
   let domains = Array.init (n - 1) (fun _ -> Domain.spawn guarded) in
   let first = guarded () in
   let rest = Array.map Domain.join domains in
@@ -66,9 +79,11 @@ let parallel_for ?jobs n f =
     let chunk = max 1 (n / (j * 8)) in
     let next = Atomic.make 0 in
     let worker () =
+      let mine = ref 0 in
       let rec loop () =
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
+          Stdlib.incr mine;
           for i = start to min n (start + chunk) - 1 do
             f i
           done;
@@ -76,6 +91,7 @@ let parallel_for ?jobs n f =
         end
       in
       loop ();
+      note_chunks !mine;
       None
     in
     ignore (run_workers j worker : unit list)
@@ -109,10 +125,14 @@ let map_reduce_seq ?jobs ?(chunk = default_chunk) ~init ~fold ~merge seq =
     in
     let worker () =
       let acc = init () in
+      let mine = ref 0 in
       let rec loop () =
         match next_chunk () with
-        | [] -> Some acc
+        | [] ->
+            note_chunks !mine;
+            Some acc
         | items ->
+            Stdlib.incr mine;
             List.iter (fold acc) items;
             loop ()
       in

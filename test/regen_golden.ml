@@ -1,0 +1,6 @@
+(* Regenerates the golden experiment verdicts:
+     dune exec test/regen_golden.exe > test/golden/experiments.expected *)
+
+let () =
+  Format.printf "%a" Eba_harness.Experiments.pp_verdicts
+    (Eba_harness.Experiments.all ~scale:Eba_harness.Experiments.Small ())

@@ -1,0 +1,80 @@
+(* Differential testing: the semantic decision sets (Kb_protocol over the
+   enumerated model) against the operational runner, point for point, over
+   the exhaustive crash n=3 t=1 universe.  For each protocol with both a
+   knowledge-based and a message-passing implementation, every nonfaulty
+   processor must decide the same value at the same time in the
+   corresponding run — Prop 2.2's "one model supports every protocol"
+   claim, machine-checked as an equality of decision tables.
+
+   (test_cross.ml checks the FIP and Thm 6.2 equivalences; this suite is
+   the protocol-by-protocol matrix and reports *which* entries disagree,
+   not just how many.) *)
+
+module M = Eba.Model
+module KB = Eba.Kb_protocol
+module Runner = Eba.Runner
+module Val = Eba.Value
+module B = Eba.Bitset
+open Helpers
+
+(* All (run, proc) entries where the semantic and operational decisions
+   differ, with a printable description of both sides. *)
+let disagreements fixture pair (module P : Eba.Protocol_intf.PROTOCOL) =
+  let m = model fixture in
+  let d = KB.decide m pair in
+  let module R = Runner.Make (P) in
+  let bad = ref [] in
+  for r = M.nruns m - 1 downto 0 do
+    let run = M.run_of_point m (M.point m ~run:r ~time:0) in
+    let trace = R.run fixture.params run.M.config run.M.pattern in
+    B.iter
+      (fun i ->
+        let sem = KB.outcome d ~run:r ~proc:i in
+        let op = trace.Runner.decisions.(i) in
+        let same =
+          match (sem, op) with
+          | None, None -> true
+          | Some { KB.at; value }, Some { Runner.at = at'; value = value' } ->
+              at = at' && Val.equal value value'
+          | None, Some _ | Some _, None -> false
+        in
+        if not same then begin
+          let show = function
+            | None -> "undecided"
+            | Some (at, v) -> Format.asprintf "%a@%d" Val.pp v at
+          in
+          let sem = Option.map (fun { KB.at; value } -> (at, value)) sem in
+          let op = Option.map (fun { Runner.at; value } -> (at, value)) op in
+          bad :=
+            Printf.sprintf "run %d proc %d: semantic %s vs operational %s" r i
+              (show sem) (show op)
+            :: !bad
+        end)
+      (M.nonfaulty m ~run:r)
+  done;
+  !bad
+
+let agree name fixture pair p () =
+  match disagreements fixture pair p with
+  | [] -> ()
+  | first :: _ as all ->
+      Alcotest.failf "%s: %d nonfaulty decisions disagree; first: %s" name
+        (List.length all) first
+
+let tests =
+  let e = env crash_3_1_3 in
+  [
+    test "P0 semantic = operational, exhaustive crash n=3 t=1"
+      (agree "P0" crash_3_1_3 (Eba.Zoo.p0 e) (module Eba.P0.P0));
+    test "P0opt (F^L,2) semantic = operational, exhaustive crash n=3 t=1"
+      (agree "P0opt" crash_3_1_3 (Eba.Zoo.f_lambda_2 e) (module Eba.P0opt));
+    test "FloodSet semantic = operational, exhaustive crash n=3 t=1"
+      (agree "FloodSet" crash_3_1_3 (Eba.Zoo.sba_fixed_time e) (module Eba.Floodset));
+    test "differential harness is sensitive (P0 vs the P1 decision sets)" (fun () ->
+        (* sanity: the matrix must be able to fail — P1's decision pair
+           cannot reproduce P0's operational decisions *)
+        check "P1 pair vs P0 runner disagrees somewhere" true
+          (disagreements crash_3_1_3 (Eba.Zoo.p1 e) (module Eba.P0.P0) <> []));
+  ]
+
+let suite = ("differential", tests)

@@ -17,4 +17,7 @@ let () =
       Test_sba.suite;
       Test_semantics.suite;
       Test_misc.suite;
+      Test_metrics.suite;
+      Test_differential.suite;
+      Test_golden.suite;
     ]

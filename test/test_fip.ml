@@ -55,6 +55,63 @@ let view_tests =
             ignore (V.node s ~owner:0 ~prev:l1 ~received:[| None; None |])));
   ]
 
+let growth_tests =
+  (* The store starts with room for 1024 view metas and doubles on demand;
+     these pin the behaviour across that boundary. *)
+  let chain s ~owner ~len =
+    let rec go acc v k =
+      if k = 0 then List.rev acc
+      else
+        let v' = V.node s ~owner ~prev:v ~received:[| None; None |] in
+        go (v' :: acc) v' (k - 1)
+    in
+    let l = V.leaf s ~owner Val.Zero in
+    l :: go [] l len
+  in
+  [
+    test "interning stays injective past the 1024-meta capacity" (fun () ->
+        let s = V.create_store ~n:2 in
+        (* two interleaved chains, so growth copies a mixed-owner prefix *)
+        let len = 1300 in
+        let c0 = chain s ~owner:0 ~len and c1 = chain s ~owner:1 ~len in
+        check "crossed the initial capacity twice" true (V.size s > 2048);
+        check_int "distinct views only" (2 * (len + 1)) (V.size s);
+        let all = c0 @ c1 in
+        check_int "ids are dense" (V.size s)
+          (1 + List.fold_left max 0 all));
+    test "metas survive growth intact" (fun () ->
+        let s = V.create_store ~n:2 in
+        let c = chain s ~owner:1 ~len:1500 in
+        List.iteri
+          (fun time v ->
+            check_int "owner" 1 (V.owner s v);
+            check_int "time" time (V.time s v);
+            check "init value" true (V.init_value s v = Val.Zero);
+            match V.prev s v with
+            | None -> check_int "only the leaf lacks prev" 0 time
+            | Some p -> check_int "prev is one round back" (time - 1) (V.time s p))
+          c);
+    test "re-interning after growth returns the same ids" (fun () ->
+        let s = V.create_store ~n:2 in
+        let c1 = chain s ~owner:0 ~len:1100 in
+        let size1 = V.size s in
+        let c2 = chain s ~owner:0 ~len:1100 in
+        check "same ids" true (c1 = c2);
+        check_int "no new allocations" size1 (V.size s));
+    test "a real model past 1024 views keeps cells consistent" (fun () ->
+        let m = model crash_4_1_3 in
+        let store = m.M.store in
+        check "model is past the initial capacity" true (V.size store > 1024);
+        for v = 0 to V.size store - 1 do
+          let owner = V.owner store v in
+          Array.iter
+            (fun pid ->
+              check_int "cell member holds the view" v
+                (M.view_at m ~point:pid ~proc:owner))
+            (M.cell m v)
+        done);
+  ]
+
 let model_tests =
   [
     test "crash model sizes" (fun () ->
@@ -148,4 +205,4 @@ let model_tests =
         check_int "runs" (49 * 8) (M.nruns m));
   ]
 
-let suite = ("fip", view_tests @ model_tests)
+let suite = ("fip", view_tests @ growth_tests @ model_tests)
