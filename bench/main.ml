@@ -59,6 +59,10 @@ let () = Eba.Metrics.set_clock (fun () -> Int64.to_float (monotonic_now ()) /. 1
 let crash_params = Eba.Params.make ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Crash
 let crash4_params = Eba.Params.make ~n:4 ~t:2 ~horizon:4 ~mode:Eba.Params.Crash
 let om_params = Eba.Params.make ~n:3 ~t:1 ~horizon:3 ~mode:Eba.Params.Omission
+
+(* larger builder-only scales: deep omission universe, wide crash universe *)
+let om_t4_params = Eba.Params.make ~n:3 ~t:1 ~horizon:4 ~mode:Eba.Params.Omission
+let crash5_params = Eba.Params.make ~n:5 ~t:2 ~horizon:2 ~mode:Eba.Params.Crash
 let crash_model = M.build crash_params
 let crash4_model = M.build crash4_params
 let om_model = M.build om_params
@@ -99,12 +103,18 @@ let null_fmt =
 let engine_tests =
   Test.make_grouped ~name:"engine"
     [
-      Test.make ~name:"model-build crash n=3 t=1 T=3" (Staged.stage (fun () ->
-          ignore (M.build crash_params)));
-      Test.make ~name:"model-build omission n=3 t=1 T=3" (Staged.stage (fun () ->
-          ignore (M.build om_params)));
-      Test.make ~name:"model-build crash n=4 t=2 T=4" (Staged.stage (fun () ->
-          ignore (M.build crash4_params)));
+      Test.make ~name:"model-build crash n=3 t=1 T=3 naive" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Naive crash_params)));
+      Test.make ~name:"model-build crash n=3 t=1 T=3 shared" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Shared crash_params)));
+      Test.make ~name:"model-build omission n=3 t=1 T=3 naive" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Naive om_params)));
+      Test.make ~name:"model-build omission n=3 t=1 T=3 shared" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Shared om_params)));
+      Test.make ~name:"model-build crash n=4 t=2 T=4 naive" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Naive crash4_params)));
+      Test.make ~name:"model-build crash n=4 t=2 T=4 shared" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Shared crash4_params)));
       Test.make ~name:"cbox fast (closure+query) n=4 t=2" (Staged.stage (fun () ->
           ignore (Eba.Continual.cbox (Eba.Continual.closure crash4_model nf) e0_pts)));
       Test.make ~name:"cbox naive fixpoint n=4 t=2" (Staged.stage (fun () ->
@@ -135,6 +145,21 @@ let runner_tests =
         (Staged.stage (run_protocol (module Eba.Floodset) big_crash big_config big_crash_pattern));
       Test.make ~name:"Chain0 run n=16 t=5"
         (Staged.stage (run_protocol (module Eba.Chain0) big_om big_config big_om_pattern));
+    ]
+
+(* --- builder scaling: naive vs shared at scales where sharing bites --- *)
+
+let build_heavy_tests =
+  Test.make_grouped ~name:"build-heavy"
+    [
+      Test.make ~name:"model-build omission n=3 t=1 T=4 naive" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Naive om_t4_params)));
+      Test.make ~name:"model-build omission n=3 t=1 T=4 shared" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Shared om_t4_params)));
+      Test.make ~name:"model-build crash n=5 t=2 T=2 naive" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Naive crash5_params)));
+      Test.make ~name:"model-build crash n=5 t=2 T=2 shared" (Staged.stage (fun () ->
+          ignore (M.build ~builder:M.Shared crash5_params)));
     ]
 
 (* --- 1-domain vs N-domain sweep engine (summaries are bit-identical;
@@ -246,6 +271,50 @@ let metrics_signature () =
       ignore (Eba.Stats.exhaustive (module Eba.P0opt) crash_params);
       Eba.Metrics.deterministic_counters ())
 
+(* Builder work accounting, one row per modelled universe: how many
+   interior-view interning calls the naive builder makes
+   ([runs * horizon * n]), how many the shared builder makes
+   ([tree_nodes * 2^n * n], read off the deterministic
+   [model.tree_nodes] / [model.prefix_hits] counters), and the sharing
+   factor between them.  Pure counts — machine-independent, job-count
+   independent — so the CI regression guard can diff them exactly. *)
+let build_cases () =
+  let small =
+    [
+      ("crash n=3 t=1 T=3", crash_params);
+      ("omission n=3 t=1 T=3", om_params);
+      ("crash n=4 t=2 T=4", crash4_params);
+    ]
+  in
+  let large = [ ("omission n=3 t=1 T=4", om_t4_params); ("crash n=5 t=2 T=2", crash5_params) ] in
+  if !smoke then small else small @ large
+
+let build_entry_json (name, params) =
+  let was = Eba.Metrics.enabled () in
+  Eba.Metrics.reset ();
+  Eba.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Eba.Metrics.set_enabled was;
+      Eba.Metrics.reset ())
+    (fun () ->
+      let m = M.build ~builder:M.Shared params in
+      let det = Eba.Metrics.deterministic_counters () in
+      let get n = match List.assoc_opt n det with Some v -> v | None -> 0 in
+      let naive_calls = M.nruns m * M.horizon m * M.n m in
+      let hits = get "model.prefix_hits" in
+      Eba.Json.Obj
+        [
+          ("name", Eba.Json.String name);
+          ("flavour", Eba.Json.String "exhaustive");
+          ("runs", Eba.Json.Int (M.nruns m));
+          ("views", Eba.Json.Int (Eba.View.size m.M.store));
+          ("tree_nodes", Eba.Json.Int (get "model.tree_nodes"));
+          ("node_calls_naive", Eba.Json.Int naive_calls);
+          ("node_calls_shared", Eba.Json.Int (naive_calls - hits));
+          ("prefix_hits", Eba.Json.Int hits);
+        ])
+
 let model_size_json (name, m) =
   Eba.Json.Obj
     [
@@ -291,6 +360,7 @@ let write_json path =
             ] );
         ("entries", Eba.Json.List entries);
         ("models", Eba.Json.List (List.map model_size_json fixture_models));
+        ("build", Eba.Json.List (List.map build_entry_json (build_cases ())));
         ("metrics", Eba.Json.Obj metrics);
       ]
   in
@@ -305,6 +375,8 @@ let () =
   print_endline "=== bechamel: sweep engine, 1 domain vs N domains ===";
   benchmark ~group:"parallel" ~quota:1.0 parallel_tests;
   if not !smoke then begin
+    print_endline "=== bechamel: builder scaling, naive vs shared ===";
+    benchmark ~group:"build-heavy" ~quota:0.5 build_heavy_tests;
     print_endline "=== bechamel: table regeneration ===";
     benchmark ~group:"tables" ~quota:1.0 table_tests;
     print_endline "=== bechamel: heavy table regeneration ===";

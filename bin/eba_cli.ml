@@ -83,9 +83,32 @@ let jobs_term =
   in
   Term.(term_result (const set $ jobs_arg))
 
+let build_conv =
+  Arg.enum [ ("shared", Eba.Model.Shared); ("naive", Eba.Model.Naive) ]
+
+let build_arg =
+  Arg.(
+    value
+    & opt build_conv Eba.Model.Shared
+    & info [ "build" ] ~docv:"BUILDER"
+        ~doc:
+          "Model builder: $(b,shared) (default) walks the shared-prefix \
+           pattern forest and extends views once per signature class; \
+           $(b,naive) simulates every run independently.  Both produce \
+           bit-identical models — the flag is an escape hatch for \
+           benchmarking and for cross-checking the shared builder.")
+
+(* Like [jobs_term]: evaluated before every command, steering the
+   process-wide builder default. *)
+let build_term =
+  let set b = Eba.Model.set_builder b in
+  Term.(const set $ build_arg)
+
 let params_term =
-  let make () () n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
-  Term.(const make $ jobs_term $ metrics_term $ n_arg $ t_arg $ horizon_arg $ mode_arg)
+  let make () () () n t horizon mode = Eba.Params.make ~n ~t ~horizon ~mode in
+  Term.(
+    const make $ jobs_term $ metrics_term $ build_term $ n_arg $ t_arg
+    $ horizon_arg $ mode_arg)
 
 let protocol_names =
   [ "never"; "p0"; "p1"; "p0opt"; "f-lambda-2"; "chain0"; "f-star" ]
@@ -164,7 +187,7 @@ let experiments_cmd =
       & opt (some (enum (List.map (fun s -> (s, s)) ids))) None
       & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (E1..E12).")
   in
-  let run () () only =
+  let run () () () only =
     match only with
     | Some id ->
         (match Eba_harness.Experiments.run id with
@@ -176,7 +199,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's propositions (E1..E12) on exhaustive models.")
-    Term.(const run $ jobs_term $ metrics_term $ id_arg)
+    Term.(const run $ jobs_term $ metrics_term $ build_term $ id_arg)
 
 let tables_cmd =
   let which =
@@ -185,7 +208,7 @@ let tables_cmd =
       & opt (some string) None
       & info [ "only" ] ~docv:"TABLE" ~doc:"One of t1..t5, f1..f3; default all.")
   in
-  let run () () only =
+  let run () () () only =
     let fmt = Format.std_formatter in
     let module T = Eba_harness.Tables in
     (match only with
@@ -204,7 +227,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the benchmark tables and figure series (EXPERIMENTS.md).")
-    Term.(const run $ jobs_term $ metrics_term $ which)
+    Term.(const run $ jobs_term $ metrics_term $ build_term $ which)
 
 let () =
   (* Spans get bechamel's CLOCK_MONOTONIC stub; the library default is

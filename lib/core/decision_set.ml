@@ -21,15 +21,14 @@ let of_formulas env f =
   let sets = Array.init n (fun i -> Formula.eval env (f i)) in
   for v = 0 to nviews model - 1 do
     let i = View.owner store v in
-    let cell = Model.cell model v in
-    if Array.length cell > 0 then begin
-      let first = Pset.mem sets.(i) cell.(0) in
-      Array.iter
-        (fun q ->
-          if Pset.mem sets.(i) q <> first then
-            invalid_arg "Decision_set.of_formulas: formula not view-measurable")
-        cell;
-      if first then Bytes.set t v '\001'
+    if Model.cell_length model v > 0 then begin
+      let first = ref (-1) in
+      Model.cell_iter model v (fun q ->
+          let inside = if Pset.mem sets.(i) q then 1 else 0 in
+          if !first < 0 then first := inside
+          else if inside <> !first then
+            invalid_arg "Decision_set.of_formulas: formula not view-measurable");
+      if !first = 1 then Bytes.set t v '\001'
     end
   done;
   t

@@ -45,11 +45,9 @@ let closure model s =
   let unions = ref 0 in
   for v = 0 to nv - 1 do
     let i = View.owner store v in
-    let cell = Model.cell model v in
     (* the lander group of [v]: points of the cell at which the owner is in S *)
     let first = ref (-1) in
-    Array.iter
-      (fun q ->
+    Model.cell_iter model v (fun q ->
         if Nonrigid.mem s ~point:q ~proc:i then begin
           Pset.add landable q;
           let run = Model.run_index_of_point model q in
@@ -60,7 +58,6 @@ let closure model s =
             Uf.union uf !first run
           end
         end)
-      cell
   done;
   Metrics.add m_unions !unions;
   if Metrics.enabled () then Metrics.add m_landable (Pset.cardinal landable);

@@ -12,27 +12,36 @@ let m_probes = Metrics.counter "knowledge.cell_points_probed"
    whether φ holds at every point of [cell v] where [i ∈ S]; this is the
    kernel shared by [K], [B] and [E].  The model is immutable after
    [Model.build] and each iteration writes only its own byte, so the
-   per-view loop parallelizes over domains. *)
+   per-view loop parallelizes over domains; cells are read straight out of
+   the model's CSR arrays, so the inner loop allocates nothing.  [m_probes]
+   counts whole cells even when the scan exits early (and is batched per
+   chunk rather than bumped per view), keeping its total a function of the
+   model alone — identical across job counts and short-circuit luck. *)
 let known_per_view model s phi =
   Metrics.time s_kernel @@ fun () ->
   let store = model.Model.store in
   let nv = View.size store in
   Metrics.add m_views nv;
+  let off = model.Model.cell_off and ids = model.Model.cell_ids in
   let known = Bytes.make nv '\001' in
-  Parallel.parallel_for nv (fun v ->
-      let i = View.owner store v in
-      let cell = Model.cell model v in
-      if Metrics.enabled () then Metrics.add m_probes (Array.length cell);
-      let ok =
-        Array.for_all
-          (fun q ->
+  Parallel.parallel_ranges nv (fun lo hi ->
+      if Metrics.enabled () then Metrics.add m_probes (off.(hi) - off.(lo));
+      for v = lo to hi - 1 do
+        let i = View.owner store v in
+        let e = off.(v + 1) in
+        let ok = ref true in
+        let k = ref off.(v) in
+        while !ok && !k < e do
+          let q = ids.(!k) in
+          ok :=
             (match s with
             | Some s -> not (Nonrigid.mem s ~point:q ~proc:i)
             | None -> false)
-            || Pset.mem phi q)
-          cell
-      in
-      if not ok then Bytes.set known v '\000');
+            || Pset.mem phi q;
+          incr k
+        done;
+        if not !ok then Bytes.set known v '\000'
+      done);
   known
 
 let knows model ~proc phi =

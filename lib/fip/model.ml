@@ -1,5 +1,7 @@
 module Bitset = Eba_util.Bitset
+module Combi = Eba_util.Combi
 module Metrics = Eba_util.Metrics
+module Parallel = Eba_util.Parallel
 module Value = Eba_sim.Value
 module Config = Eba_sim.Config
 module Params = Eba_sim.Params
@@ -18,18 +20,36 @@ type t = {
   params : Params.t;
   store : View.store;
   runs : run array;
-  cells : int array array;
+  cell_off : int array;
+  cell_ids : int array;
+  by_key : (int, int list) Hashtbl.t Lazy.t;
 }
+
+type builder = Naive | Shared
+
+let builder_override : builder Atomic.t = Atomic.make Shared
+let set_builder b = Atomic.set builder_override b
+let current_builder () = Atomic.get builder_override
 
 let s_build = Metrics.span "model.build"
 let s_simulate = Metrics.span "model.build.simulate"
+let s_merge = Metrics.span "model.build.merge"
 let s_cells = Metrics.span "model.build.cells"
 let m_runs = Metrics.counter "model.runs"
 let m_points = Metrics.counter "model.points"
 let m_views = Metrics.counter "model.views"
 let m_cell_entries = Metrics.counter "model.cell_entries"
 
-let simulate_run store (params : Params.t) ~index config pattern =
+(* Interior-node view extensions the shared builder actually performed, and
+   the ones it skipped relative to the naive per-run simulation.  Both are
+   functions of the universe alone, so they are deterministic across job
+   counts — which is what lets CI assert the sharing factor. *)
+let m_tree_nodes = Metrics.counter "model.tree_nodes"
+let m_prefix_hits = Metrics.counter "model.prefix_hits"
+
+(* [parts] is a caller-provided scratch array of length [n]; the interner
+   copies it only when the view is new. *)
+let simulate_run store (params : Params.t) ~parts ~index config pattern =
   let n = params.Params.n and horizon = params.Params.horizon in
   let views = Array.make ((horizon + 1) * n) (-1) in
   for i = 0 to n - 1 do
@@ -37,50 +57,90 @@ let simulate_run store (params : Params.t) ~index config pattern =
   done;
   for k = 1 to horizon do
     for i = 0 to n - 1 do
-      let received =
-        Array.init n (fun j ->
-            if j = i then None
-            else if Pattern.delivers pattern ~round:k ~sender:j ~receiver:i then
-              Some views.(((k - 1) * n) + j)
-            else None)
-      in
+      for j = 0 to n - 1 do
+        parts.(j) <-
+          (if j = i then -1
+           else if Pattern.delivers pattern ~round:k ~sender:j ~receiver:i then
+             views.(((k - 1) * n) + j)
+           else -1)
+      done;
       views.((k * n) + i) <-
-        View.node store ~owner:i ~prev:views.(((k - 1) * n) + i) ~received
+        View.node_parts store ~owner:i ~prev:views.(((k - 1) * n) + i) ~parts
     done
   done;
   { index; config; pattern; faulty = Pattern.faulty pattern; views }
 
+(* CSR layout: cell of view [v] is [cell_ids.(cell_off.(v)) ..
+   cell_ids.(cell_off.(v+1) - 1)].  Two passes in canonical run order, so
+   within a cell the point ids are sorted ascending whatever builder
+   produced the runs. *)
 let build_cells store runs horizon n =
   let nviews = View.size store in
-  let counts = Array.make nviews 0 in
   let npoints_per_run = horizon + 1 in
+  let off = Array.make (nviews + 1) 0 in
   Array.iter
     (fun run ->
       for m = 0 to horizon do
         for i = 0 to n - 1 do
           let v = run.views.((m * n) + i) in
-          counts.(v) <- counts.(v) + 1
+          off.(v + 1) <- off.(v + 1) + 1
         done
       done)
     runs;
-  let cells = Array.map (fun c -> Array.make c (-1)) counts in
-  let fill = Array.make nviews 0 in
+  for v = 1 to nviews do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let ids = Array.make off.(nviews) (-1) in
+  let fill = Array.sub off 0 nviews in
   Array.iter
     (fun run ->
       for m = 0 to horizon do
         let pid = (run.index * npoints_per_run) + m in
         for i = 0 to n - 1 do
           let v = run.views.((m * n) + i) in
-          cells.(v).(fill.(v)) <- pid;
+          ids.(fill.(v)) <- pid;
           fill.(v) <- fill.(v) + 1
         done
       done)
     runs;
-  cells
+  (off, ids)
+
+(* Locating a run by (config, pattern) is a rare operation on a huge array,
+   so the index is lazy: a hash bucket per [Hashtbl.hash] key, resolved by
+   [equal] on the (short) bucket.  Structurally equal patterns hash equal,
+   which is all the bucketing needs. *)
+let run_key config pattern = Hashtbl.hash (Config.to_bits config, pattern)
+
+let make_index runs =
+  lazy
+    (let tbl = Hashtbl.create (2 * max 1 (Array.length runs)) in
+     for idx = Array.length runs - 1 downto 0 do
+       let r = runs.(idx) in
+       let key = run_key r.config r.pattern in
+       let prior = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+       Hashtbl.replace tbl key (idx :: prior)
+     done;
+     tbl)
+
+let finish (params : Params.t) store runs =
+  let cell_off, cell_ids =
+    Metrics.time s_cells (fun () ->
+        build_cells store runs params.Params.horizon params.Params.n)
+  in
+  if Metrics.enabled () then begin
+    let nruns = Array.length runs in
+    let npoints = nruns * (params.Params.horizon + 1) in
+    Metrics.add m_runs nruns;
+    Metrics.add m_points npoints;
+    Metrics.add m_views (View.size store);
+    Metrics.add m_cell_entries (npoints * params.Params.n)
+  end;
+  { params; store; runs; cell_off; cell_ids; by_key = make_index runs }
 
 let build_of_configs_patterns (params : Params.t) configs patterns =
   Metrics.time s_build (fun () ->
-      let store = View.create_store ~n:params.Params.n in
+      let store = View.create_store ~n:params.Params.n () in
+      let parts = Array.make (max 1 params.Params.n) (-1) in
       let runs = ref [] in
       let index = ref 0 in
       Metrics.time s_simulate (fun () ->
@@ -89,30 +149,279 @@ let build_of_configs_patterns (params : Params.t) configs patterns =
               List.iter
                 (fun config ->
                   runs :=
-                    simulate_run store params ~index:!index config pattern :: !runs;
+                    simulate_run store params ~parts ~index:!index config pattern
+                    :: !runs;
                   incr index)
                 configs)
             patterns);
       let runs = Array.of_list (List.rev !runs) in
-      let cells =
-        Metrics.time s_cells (fun () ->
-            build_cells store runs params.Params.horizon params.Params.n)
-      in
-      if Metrics.enabled () then begin
-        let nruns = Array.length runs in
-        let npoints = nruns * (params.Params.horizon + 1) in
-        Metrics.add m_runs nruns;
-        Metrics.add m_points npoints;
-        Metrics.add m_views (View.size store);
-        Metrics.add m_cell_entries (npoints * params.Params.n)
-      end;
-      { params; store; runs; cells })
+      finish params store runs)
 
-let build ?(flavour = Universe.Exhaustive) ?configs (params : Params.t) =
+(* --- shared-prefix builders --------------------------------------------
+
+   Patterns that agree on their delivery signatures for rounds [1..k]
+   produce identical views through time [k], so the naive builder recomputes
+   every shared prefix once per pattern.  The builders below extend each
+   processor's view once per signature-prefix class instead of once per
+   run.  Both are bit-identical to the naive builder: the sequential one by
+   allocation order (it interns views in exactly the order the naive
+   enumeration first needs them), the sharded one by an explicit canonical
+   renumbering merge. *)
+
+(* One signature-prefix class, grown lazily while patterns stream by in
+   canonical order.  [t_levels.(c)] is the per-processor view vector of the
+   class at its depth for configuration [c], computed on first use — per
+   configuration, not per class, so the store's allocation order is exactly
+   the naive builder's (pattern-major, configuration-inner, time-ascending). *)
+type trie = {
+  t_send : Bitset.t array;
+  t_recv : Bitset.t array;
+  t_levels : int array array;
+  t_children : (int array, trie) Hashtbl.t;
+}
+
+let build_shared_seq ~flavour (params : Params.t) configs =
+  Metrics.time s_build @@ fun () ->
+  let n = params.Params.n and horizon = params.Params.horizon in
+  let configs = Array.of_list configs in
+  let nconfigs = Array.length configs in
+  let store = View.create_store ~n () in
+  let parts = Array.make (max 1 n) (-1) in
+  let runs = ref [] in
+  let index = ref 0 in
+  let npatterns = ref 0 in
+  let tree_nodes = ref 0 in
+  let dummy =
+    { t_send = [||]; t_recv = [||]; t_levels = [||]; t_children = Hashtbl.create 1 }
+  in
+  let path = Array.make (horizon + 1) dummy in
+  Metrics.time s_simulate (fun () ->
+      List.iter
+        (fun set ->
+          let procs = Bitset.to_list set in
+          let behs =
+            List.map (fun proc -> Universe.behaviours_for ~flavour params ~proc) procs
+          in
+          let fresh_node send recv =
+            {
+              t_send = send;
+              t_recv = recv;
+              t_levels = Array.make (max 1 nconfigs) [||];
+              t_children = Hashtbl.create 4;
+            }
+          in
+          let empty_sig = Array.make n Bitset.empty in
+          let root = fresh_node empty_sig empty_sig in
+          path.(0) <- root;
+          Seq.iter
+            (fun tuple ->
+              let pattern = Pattern.make params tuple in
+              incr npatterns;
+              for k = 1 to horizon do
+                let key =
+                  Array.of_list
+                    (List.concat_map
+                       (fun b ->
+                         let s, r = Pattern.round_signature ~n b ~round:k in
+                         [ Bitset.to_int s; Bitset.to_int r ])
+                       tuple)
+                in
+                let parent = path.(k - 1) in
+                let child =
+                  match Hashtbl.find_opt parent.t_children key with
+                  | Some c -> c
+                  | None ->
+                      let send = Array.make n Bitset.empty
+                      and recv = Array.make n Bitset.empty in
+                      List.iter2
+                        (fun proc b ->
+                          let s, r = Pattern.round_signature ~n b ~round:k in
+                          send.(proc) <- s;
+                          recv.(proc) <- r)
+                        procs tuple;
+                      let c = fresh_node send recv in
+                      incr tree_nodes;
+                      Hashtbl.add parent.t_children key c;
+                      c
+                in
+                path.(k) <- child
+              done;
+              let faulty = Pattern.faulty pattern in
+              for c = 0 to nconfigs - 1 do
+                if root.t_levels.(c) = [||] then
+                  root.t_levels.(c) <-
+                    Array.init n (fun i ->
+                        View.leaf store ~owner:i (Config.value configs.(c) i));
+                for k = 1 to horizon do
+                  let nd = path.(k) in
+                  if nd.t_levels.(c) = [||] then begin
+                    let prev = path.(k - 1).t_levels.(c) in
+                    let lv = Array.make n (-1) in
+                    for i = 0 to n - 1 do
+                      for j = 0 to n - 1 do
+                        parts.(j) <-
+                          (if
+                             j = i
+                             || Bitset.mem i nd.t_send.(j)
+                             || Bitset.mem j nd.t_recv.(i)
+                           then -1
+                           else prev.(j))
+                      done;
+                      lv.(i) <- View.node_parts store ~owner:i ~prev:prev.(i) ~parts
+                    done;
+                    nd.t_levels.(c) <- lv
+                  end
+                done;
+                let views = Array.make ((horizon + 1) * n) (-1) in
+                for m = 0 to horizon do
+                  Array.blit path.(m).t_levels.(c) 0 views (m * n) n
+                done;
+                runs :=
+                  { index = !index; config = configs.(c); pattern; faulty; views }
+                  :: !runs;
+                incr index
+              done)
+            (Combi.cartesian_seq behs))
+        (Bitset.subsets_upto n params.Params.t_failures));
+  if Metrics.enabled () then begin
+    Metrics.add m_tree_nodes !tree_nodes;
+    Metrics.add m_prefix_hits
+      (((!npatterns * horizon) - !tree_nodes) * nconfigs * n)
+  end;
+  finish params store (Array.of_list (List.rev !runs))
+
+let build_shared_sharded ?(flavour = Universe.Exhaustive) (params : Params.t)
+    configs =
+  Metrics.time s_build @@ fun () ->
+  let n = params.Params.n and horizon = params.Params.horizon in
+  let configs = Array.of_list configs in
+  let nconfigs = Array.length configs in
+  let npatterns, forest = Universe.prefix_forest ~flavour params in
+  let nruns = npatterns * nconfigs in
+  let dummy =
+    {
+      index = -1;
+      config = Config.constant ~n:0 Value.Zero;
+      pattern = Pattern.failure_free params;
+      faulty = Bitset.empty;
+      views = [||];
+    }
+  in
+  let runs = Array.make nruns dummy in
+  let items =
+    Array.of_list
+      (List.concat_map
+         (fun (_set, root) ->
+           if horizon = 0 then [ root ] else root.Universe.pn_children ())
+         forest)
+  in
+  let nitems = Array.length items in
+  let stores = Array.init nitems (fun _ -> View.create_store ~capacity:64 ~n ()) in
+  let run_shard = Array.make (max 1 nruns) 0 in
+  let item_nodes = Array.make (max 1 nitems) 0 in
+  Metrics.time s_simulate (fun () ->
+      Parallel.parallel_for nitems (fun it ->
+          let store = stores.(it) in
+          let levels =
+            Array.init (horizon + 1) (fun _ -> Array.make (nconfigs * n) (-1))
+          in
+          let parts = Array.make (max 1 n) (-1) in
+          for c = 0 to nconfigs - 1 do
+            for i = 0 to n - 1 do
+              levels.(0).((c * n) + i) <-
+                View.leaf store ~owner:i (Config.value configs.(c) i)
+            done
+          done;
+          let nodes = ref 0 in
+          let emit_leaves node =
+            List.iter
+              (fun (pidx, pattern) ->
+                let faulty = Pattern.faulty pattern in
+                for c = 0 to nconfigs - 1 do
+                  let ridx = (pidx * nconfigs) + c in
+                  let views = Array.make ((horizon + 1) * n) (-1) in
+                  for m = 0 to horizon do
+                    Array.blit levels.(m) (c * n) views (m * n) n
+                  done;
+                  runs.(ridx) <-
+                    { index = ridx; config = configs.(c); pattern; faulty; views };
+                  run_shard.(ridx) <- it
+                done)
+              (node.Universe.pn_patterns ())
+          in
+          let rec walk (node : Universe.prefix_node) =
+            let d = node.Universe.pn_depth in
+            if d > 0 then begin
+              incr nodes;
+              let send = node.Universe.pn_send_omit
+              and recv = node.Universe.pn_recv_omit in
+              let prev = levels.(d - 1) and cur = levels.(d) in
+              for c = 0 to nconfigs - 1 do
+                let base = c * n in
+                for i = 0 to n - 1 do
+                  for j = 0 to n - 1 do
+                    parts.(j) <-
+                      (if j = i || Bitset.mem i send.(j) || Bitset.mem j recv.(i)
+                       then -1
+                       else prev.(base + j))
+                  done;
+                  cur.(base + i) <-
+                    View.node_parts store ~owner:i ~prev:prev.(base + i) ~parts
+                done
+              done
+            end;
+            if d = horizon then emit_leaves node
+            else List.iter walk (node.Universe.pn_children ())
+          in
+          walk items.(it);
+          item_nodes.(it) <- !nodes));
+  (* Canonical merge: scan runs in index order, each run's view slots in
+     time-major order, re-interning each shard-local view the first time it
+     is met.  That is exactly the order in which the naive builder allocates
+     ids, so the merged store assigns the same id to the same view. *)
+  let gstore = View.create_store ~n () in
+  Metrics.time s_merge (fun () ->
+      let maps = Array.map (fun s -> Array.make (max 1 (View.size s)) (-1)) stores in
+      let lookups = Array.map (fun map v -> map.(v)) maps in
+      for ridx = 0 to nruns - 1 do
+        let shard = run_shard.(ridx) in
+        let map = maps.(shard) in
+        let lstore = stores.(shard) in
+        let lookup = lookups.(shard) in
+        let views = runs.(ridx).views in
+        for slot = 0 to Array.length views - 1 do
+          let v = views.(slot) in
+          let g = map.(v) in
+          if g >= 0 then views.(slot) <- g
+          else begin
+            let g = View.remap_into ~dst:gstore ~map:lookup lstore v in
+            map.(v) <- g;
+            views.(slot) <- g
+          end
+        done
+      done);
+  if Metrics.enabled () then begin
+    let tree_nodes = Array.fold_left ( + ) 0 item_nodes in
+    Metrics.add m_tree_nodes tree_nodes;
+    Metrics.add m_prefix_hits (((npatterns * horizon) - tree_nodes) * nconfigs * n)
+  end;
+  finish params gstore runs
+
+(* With one job there is nothing to shard: the trie walk interns straight
+   into the final store (no private stores, no merge) and is still
+   bit-identical by construction.  With several jobs the forest's depth-1
+   subtrees go through the shard-and-renumber path above. *)
+let build_shared ~flavour (params : Params.t) configs =
+  if Parallel.jobs () <= 1 then build_shared_seq ~flavour params configs
+  else build_shared_sharded ~flavour params configs
+
+let build ?(flavour = Universe.Exhaustive) ?configs ?builder (params : Params.t) =
   let configs =
     match configs with Some cs -> cs | None -> Config.all ~n:params.Params.n
   in
-  build_of_configs_patterns params configs (Universe.patterns ~flavour params)
+  match Option.value builder ~default:(current_builder ()) with
+  | Shared -> build_shared ~flavour params configs
+  | Naive -> build_of_configs_patterns params configs (Universe.patterns ~flavour params)
 
 let build_of_patterns params patterns =
   build_of_configs_patterns params (Config.all ~n:params.Params.n) patterns
@@ -133,12 +442,32 @@ let view_at m ~point:pid ~proc =
   run.views.((time * n m) + proc)
 
 let nonfaulty m ~run = Bitset.diff (Bitset.full (n m)) m.runs.(run).faulty
-let cell m v = m.cells.(v)
+
+let cell_length m v = m.cell_off.(v + 1) - m.cell_off.(v)
+
+let cell_iter m v f =
+  for k = m.cell_off.(v) to m.cell_off.(v + 1) - 1 do
+    f m.cell_ids.(k)
+  done
+
+let cell_forall m v p =
+  let e = m.cell_off.(v + 1) in
+  let rec go k = k >= e || (p m.cell_ids.(k) && go (k + 1)) in
+  go m.cell_off.(v)
+
+let cell m v = Array.sub m.cell_ids m.cell_off.(v) (cell_length m v)
 
 let find_run m ~config ~pattern =
-  Array.find_opt
-    (fun r -> Config.equal r.config config && Pattern.equal r.pattern pattern)
-    m.runs
+  match Hashtbl.find_opt (Lazy.force m.by_key) (run_key config pattern) with
+  | None -> None
+  | Some idxs ->
+      List.find_map
+        (fun idx ->
+          let r = m.runs.(idx) in
+          if Config.equal r.config config && Pattern.equal r.pattern pattern then
+            Some r
+          else None)
+        idxs
 
 let iter_points m f =
   for pid = 0 to npoints m - 1 do

@@ -5,7 +5,17 @@
     pattern (Prop 2.2 makes full-information states independent of any
     decision function, so one enumerated model supports every decision
     pair).  A {e point} is a pair (run, time); points are densely numbered
-    so the epistemic layer can work with flat bitsets over point ids. *)
+    so the epistemic layer can work with flat bitsets over point ids.
+
+    Two builders produce the same model: the naive one simulates every run
+    independently, the shared one extends views once per signature-prefix
+    class.  With one job the shared builder grows a signature trie while
+    the patterns stream by canonically, interning straight into the final
+    store in the naive allocation order; with several it shards the
+    depth-1 subtrees of {!Universe.prefix_forest} across domains and
+    renumbers the shard stores into that same order during a merge.
+    Either way the stores, runs and cells are bit-identical to naive, so
+    the choice is purely a performance knob. *)
 
 module Bitset = Eba_util.Bitset
 module Value = Eba_sim.Value
@@ -26,18 +36,41 @@ type t = private {
   params : Params.t;
   store : View.store;
   runs : run array;
-  cells : int array array;
-      (** [cells.(v)] = point ids whose owner's current view is [v] *)
+  cell_off : int array;
+      (** CSR row offsets: cell of view [v] occupies
+          [cell_ids.(cell_off.(v)) .. cell_ids.(cell_off.(v+1) - 1)] *)
+  cell_ids : int array;
+      (** point ids, ascending within each cell — all points at which the
+          view's owner holds exactly that view *)
+  by_key : (int, int list) Hashtbl.t Lazy.t;
+      (** lazy (config, pattern)-hash -> run-index buckets for {!find_run} *)
 }
 
-val build : ?flavour:Universe.flavour -> ?configs:Config.t list -> Params.t -> t
+type builder = Naive | Shared
+
+val set_builder : builder -> unit
+(** Process-wide default builder for {!build} (initially [Shared]); the
+    [--build] CLI flag calls this. *)
+
+val current_builder : unit -> builder
+
+val build :
+  ?flavour:Universe.flavour ->
+  ?configs:Config.t list ->
+  ?builder:builder ->
+  Params.t ->
+  t
 (** Enumerates every (configuration, pattern) pair and simulates the
     full-information protocol under it.  [configs] defaults to all [2^n]
     configurations — restricting it changes the system runs are drawn from
-    and hence what is known; it exists for ablation experiments only. *)
+    and hence what is known; it exists for ablation experiments only.
+    [builder] overrides the {!set_builder} default for this call; either
+    choice produces a bit-identical model. *)
 
 val build_of_patterns : Params.t -> Pattern.t list -> t
-(** As {!build} with an explicit pattern list (all [2^n] configurations). *)
+(** As {!build} with an explicit pattern list (all [2^n] configurations).
+    Always uses the naive builder: an arbitrary pattern list has no
+    prefix-forest structure to share. *)
 
 val nruns : t -> int
 val npoints : t -> int
@@ -59,13 +92,26 @@ val view : t -> run:int -> time:int -> proc:int -> View.id
 val nonfaulty : t -> run:int -> Bitset.t
 (** The paper's 𝒩(r): processors that follow the protocol throughout. *)
 
+val cell_length : t -> View.id -> int
+(** Number of points in the view's cell (always [>= 1]: the point the view
+    was taken from is a member). *)
+
+val cell_iter : t -> View.id -> (int -> unit) -> unit
+(** Iterate the view's cell in ascending point order, without allocating. *)
+
+val cell_forall : t -> View.id -> (int -> bool) -> bool
+(** Short-circuiting universal quantification over the cell — the knowledge
+    test [∀ points ≈ here. φ]. *)
+
 val cell : t -> View.id -> int array
-(** All points at which the view's owner holds exactly this view.  The point
-    the view was taken from is always a member. *)
+(** The cell as a fresh array (allocates; the hot paths use {!cell_iter} /
+    {!cell_forall} or index [cell_ids] through [cell_off] directly). *)
 
 val find_run : t -> config:Config.t -> pattern:Pattern.t -> run option
 (** Locate the run with this configuration and pattern, if the model
-    contains it (used to relate operational executions to semantic runs). *)
+    contains it (used to relate operational executions to semantic runs).
+    Backed by a lazily built hash index, so repeated lookups cost O(bucket)
+    rather than a scan of all runs. *)
 
 val iter_points : t -> (int -> unit) -> unit
 val pp_stats : Format.formatter -> t -> unit

@@ -18,6 +18,9 @@ type store = {
   tbl : (int array, id) Hashtbl.t;
   mutable metas : meta array;
   mutable next : int;
+  key_scratch : int array;
+      (* probe buffer for node keys: interning a view that already exists
+         allocates nothing.  Stores are single-domain, so one buffer. *)
 }
 
 let dummy_meta =
@@ -31,8 +34,14 @@ let dummy_meta =
     m_knows_zero = false;
   }
 
-let create_store ~n =
-  { s_n = n; tbl = Hashtbl.create 4096; metas = Array.make 1024 dummy_meta; next = 0 }
+let create_store ?(capacity = 1024) ~n () =
+  {
+    s_n = n;
+    tbl = Hashtbl.create (4 * max 1 capacity);
+    metas = Array.make (max 1 capacity) dummy_meta;
+    next = 0;
+    key_scratch = Array.make (n + 3) 0;
+  }
 
 let grow store =
   let cap = Array.length store.metas in
@@ -68,14 +77,53 @@ let leaf store ~owner value =
       m_knows_zero = Value.equal value Value.Zero;
     }
 
+(* The hot interner path: [parts.(j)] is the view received from [j], or
+   [-1].  The key is assembled in the store's scratch buffer so a hit — the
+   common case once prefixes are shared — allocates nothing and skips the
+   meta computation entirely; only a miss copies the key and [parts].  The
+   array is borrowed: callers may reuse it immediately. *)
+let node_parts store ~owner ~prev ~parts =
+  let key = store.key_scratch in
+  key.(0) <- 1;
+  key.(1) <- owner;
+  key.(2) <- prev;
+  Array.blit parts 0 key 3 store.s_n;
+  match Hashtbl.find_opt store.tbl key with
+  | Some id -> id
+  | None ->
+      let p = store.metas.(prev) in
+      let heard = ref Bitset.empty in
+      let knows_zero = ref p.m_knows_zero in
+      let parts = Array.copy parts in
+      Array.iteri
+        (fun j v ->
+          if v >= 0 then begin
+            heard := Bitset.add j !heard;
+            knows_zero := !knows_zero || store.metas.(v).m_knows_zero
+          end)
+        parts;
+      let id = store.next in
+      grow store;
+      store.metas.(id) <-
+        {
+          m_owner = owner;
+          m_time = p.m_time + 1;
+          m_init = p.m_init;
+          m_prev = prev;
+          m_received = parts;
+          m_heard = !heard;
+          m_knows_zero = !knows_zero;
+        };
+      store.next <- id + 1;
+      Hashtbl.add store.tbl (Array.copy key) id;
+      id
+
 let node store ~owner ~prev ~received =
   let p = meta store prev in
   if p.m_owner <> owner then invalid_arg "View.node: owner mismatch with prev";
   if Array.length received <> store.s_n then invalid_arg "View.node: received arity";
   if received.(owner) <> None then invalid_arg "View.node: self-message";
   let parts = Array.make store.s_n (-1) in
-  let heard = ref Bitset.empty in
-  let knows_zero = ref p.m_knows_zero in
   Array.iteri
     (fun j rv ->
       match rv with
@@ -84,25 +132,36 @@ let node store ~owner ~prev ~received =
           let mv = meta store v in
           if mv.m_owner <> j then invalid_arg "View.node: received view owner mismatch";
           if mv.m_time <> p.m_time then invalid_arg "View.node: received view time mismatch";
-          parts.(j) <- v;
-          heard := Bitset.add j !heard;
-          knows_zero := !knows_zero || mv.m_knows_zero)
+          parts.(j) <- v)
     received;
-  let key = Array.make (store.s_n + 3) 0 in
-  key.(0) <- 1;
-  key.(1) <- owner;
-  key.(2) <- prev;
-  Array.blit parts 0 key 3 store.s_n;
-  alloc store key
-    {
-      m_owner = owner;
-      m_time = p.m_time + 1;
-      m_init = p.m_init;
-      m_prev = prev;
-      m_received = parts;
-      m_heard = !heard;
-      m_knows_zero = !knows_zero;
-    }
+  node_parts store ~owner ~prev ~parts
+
+(* Re-intern [id]'s meta from [src] into [dst], translating the ids it
+   references through [map] — the merge step of the sharded builder.  Every
+   view [id] references (its [prev] and received parts) must already have
+   been remapped, which the canonical run-major/time-major merge order
+   guarantees. *)
+let remap_into ~dst ~map src id =
+  let m = src.metas.(id) in
+  if m.m_prev < 0 then
+    alloc dst
+      [| 0; m.m_owner; Value.to_int m.m_init |]
+      { m with m_received = [||] }
+  else begin
+    let n = dst.s_n in
+    let parts = Array.make n (-1) in
+    for j = 0 to n - 1 do
+      let v = m.m_received.(j) in
+      if v >= 0 then parts.(j) <- map v
+    done;
+    let prev = map m.m_prev in
+    let key = Array.make (n + 3) 0 in
+    key.(0) <- 1;
+    key.(1) <- m.m_owner;
+    key.(2) <- prev;
+    Array.blit parts 0 key 3 n;
+    alloc dst key { m with m_prev = prev; m_received = parts }
+  end
 
 let size store = store.next
 let n store = store.s_n

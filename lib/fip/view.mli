@@ -21,8 +21,11 @@ type id = int
 type store
 (** A mutable hash-consing arena for one model. *)
 
-val create_store : n:int -> store
-(** [n] is the number of processors (fixes the arity of interior nodes). *)
+val create_store : ?capacity:int -> n:int -> unit -> store
+(** [n] is the number of processors (fixes the arity of interior nodes).
+    [capacity] (default 1024) sizes the initial meta arena and hash table;
+    both grow on demand, so it only tunes allocation for stores known to
+    stay small (e.g. the sharded builder's per-domain stores). *)
 
 val leaf : store -> owner:int -> Value.t -> id
 (** The time-0 view of [owner] with the given initial value. *)
@@ -32,6 +35,22 @@ val node : store -> owner:int -> prev:id -> received:id option array -> id
     [received.(j)] is the view [j] sent in that round, if it was delivered.
     [received.(owner)] must be [None].  Raises [Invalid_argument] if the
     owner or times are inconsistent. *)
+
+val node_parts : store -> owner:int -> prev:id -> parts:id array -> id
+(** The unchecked fast path behind {!node}: [parts.(j)] is the view
+    received from [j], or [-1] for none ([parts.(owner)] must be [-1]).
+    The key is probed through a scratch buffer, so re-interning an existing
+    view allocates nothing; [parts] is borrowed and may be reused by the
+    caller immediately.  Preconditions ({!node}'s owner/time checks) are
+    the caller's responsibility — this is for the model builders, whose
+    simulation loops establish them structurally. *)
+
+val remap_into : dst:store -> map:(id -> id) -> store -> id -> id
+(** [remap_into ~dst ~map src id] re-interns [src]'s view [id] into [dst],
+    translating the ids it references through [map].  Requires every view
+    [id] references to have been remapped already — i.e. callers must
+    process views in a dependency-respecting (time-ascending) order.  Used
+    to merge per-domain stores into one canonical store. *)
 
 val size : store -> int
 (** Number of distinct views allocated so far. *)

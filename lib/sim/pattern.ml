@@ -123,6 +123,29 @@ let delivers p ~round ~sender ~receiver =
   sender_delivers p ~round ~sender ~receiver
   && receiver_accepts p ~round ~sender ~receiver
 
+(* The round-local footprint of a behaviour, in the normal form the
+   shared-prefix enumerator groups by: which receivers the processor's
+   round-[round] messages fail to reach through its own fault, and which
+   senders it refuses to receive from.  A crash is "deliver everything"
+   before its round, a strict-subset delivery at it, and silence after. *)
+let round_signature ~n b ~round =
+  if round < 1 then invalid_arg "Pattern.round_signature: round out of range";
+  match b with
+  | Crashes c ->
+      let rest = Bitset.remove c.crash_proc (Bitset.full n) in
+      if round < c.crash_round then (Bitset.empty, Bitset.empty)
+      else if round = c.crash_round then
+        (Bitset.diff rest c.crash_recipients, Bitset.empty)
+      else (rest, Bitset.empty)
+  | Omits o ->
+      if round > Array.length o.om_omits then
+        invalid_arg "Pattern.round_signature: round out of range";
+      (o.om_omits.(round - 1), Bitset.empty)
+  | General g ->
+      if round > Array.length g.g_send then
+        invalid_arg "Pattern.round_signature: round out of range";
+      (g.g_send.(round - 1), g.g_recv.(round - 1))
+
 let crashed_before p ~proc ~round =
   match find_behaviour p proc with
   | Some (Crashes c) -> round > c.crash_round

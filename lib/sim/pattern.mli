@@ -81,6 +81,17 @@ val delivers : t -> round:int -> sender:int -> receiver:int -> bool
     [Invalid_argument] (all failure kinds agree on this, where they used to
     answer inconsistently past the horizon). *)
 
+val round_signature : n:int -> behaviour -> round:int -> Bitset.t * Bitset.t
+(** [(send_omit, recv_omit)]: the receivers (other than the processor
+    itself) that its round-[round] messages fail to reach through its own
+    fault, and the senders whose round-[round] messages it refuses to
+    accept.  Together with "nonfaulty processors omit nothing" this
+    determines {!delivers} for the round, so behaviours with equal
+    signatures on rounds [1..k] are indistinguishable through time [k] —
+    the grouping invariant behind {!Universe.prefix_forest}.  [n] is the
+    system size (behaviours do not record it).  Raises [Invalid_argument]
+    on rounds outside the behaviour's horizon. *)
+
 val crashed_before : t -> proc:int -> round:int -> bool
 (** Crash mode only: has [proc] crashed strictly before [round] (so it sends
     nothing at all in [round])? *)

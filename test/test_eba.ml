@@ -5,6 +5,7 @@ let () =
       Test_parallel.suite;
       Test_sim.suite;
       Test_fip.suite;
+      Test_build.suite;
       Test_pset.suite;
       Test_epistemic.suite;
       Test_decision.suite;

@@ -12,7 +12,7 @@ open Helpers
 let view_tests =
   [
     test "leaf identity" (fun () ->
-        let s = V.create_store ~n:3 in
+        let s = V.create_store ~n:3 () in
         let a = V.leaf s ~owner:0 Val.Zero in
         let b = V.leaf s ~owner:0 Val.Zero in
         let c = V.leaf s ~owner:0 Val.One in
@@ -21,7 +21,7 @@ let view_tests =
         check "value distinguishes" true (a <> c);
         check "owner distinguishes" true (a <> d));
     test "node identity and metadata" (fun () ->
-        let s = V.create_store ~n:3 in
+        let s = V.create_store ~n:3 () in
         let l0 = V.leaf s ~owner:0 Val.Zero in
         let l1 = V.leaf s ~owner:1 Val.One in
         let recv = [| None; Some l1; None |] in
@@ -35,7 +35,7 @@ let view_tests =
         check "received" true (V.received s a 1 = Some l1);
         check "not received" true (V.received s a 2 = None));
     test "knows_zero propagates" (fun () ->
-        let s = V.create_store ~n:2 in
+        let s = V.create_store ~n:2 () in
         let z = V.leaf s ~owner:0 Val.Zero in
         let o = V.leaf s ~owner:1 Val.One in
         check "leaf zero" true (V.knows_zero s z);
@@ -45,7 +45,7 @@ let view_tests =
         let n2 = V.node s ~owner:1 ~prev:o ~received:[| None; None |] in
         check "no zero" false (V.knows_zero s n2));
     test "node validation" (fun () ->
-        let s = V.create_store ~n:2 in
+        let s = V.create_store ~n:2 () in
         let l0 = V.leaf s ~owner:0 Val.Zero in
         let l1 = V.leaf s ~owner:1 Val.One in
         Alcotest.check_raises "self message" (Invalid_argument "View.node: self-message")
@@ -70,7 +70,7 @@ let growth_tests =
   in
   [
     test "interning stays injective past the 1024-meta capacity" (fun () ->
-        let s = V.create_store ~n:2 in
+        let s = V.create_store ~n:2 () in
         (* two interleaved chains, so growth copies a mixed-owner prefix *)
         let len = 1300 in
         let c0 = chain s ~owner:0 ~len and c1 = chain s ~owner:1 ~len in
@@ -80,7 +80,7 @@ let growth_tests =
         check_int "ids are dense" (V.size s)
           (1 + List.fold_left max 0 all));
     test "metas survive growth intact" (fun () ->
-        let s = V.create_store ~n:2 in
+        let s = V.create_store ~n:2 () in
         let c = chain s ~owner:1 ~len:1500 in
         List.iteri
           (fun time v ->
@@ -92,7 +92,7 @@ let growth_tests =
             | Some p -> check_int "prev is one round back" (time - 1) (V.time s p))
           c);
     test "re-interning after growth returns the same ids" (fun () ->
-        let s = V.create_store ~n:2 in
+        let s = V.create_store ~n:2 () in
         let c1 = chain s ~owner:0 ~len:1100 in
         let size1 = V.size s in
         let c2 = chain s ~owner:0 ~len:1100 in
@@ -141,8 +141,9 @@ let model_tests =
         let m = model crash_3_1_3 in
         (* every point appears in exactly one cell per processor: total cell
            mass = npoints * n *)
-        let total = Array.fold_left (fun acc c -> acc + Array.length c) 0 m.M.cells in
-        check_int "mass" (M.npoints m * 3) total);
+        check_int "mass" (M.npoints m * 3) (Array.length m.M.cell_ids);
+        check_int "offsets cover cell_ids" (Array.length m.M.cell_ids)
+          m.M.cell_off.(Array.length m.M.cell_off - 1));
     test "cell members share the view" (fun () ->
         let m = model crash_3_1_3 in
         let store = m.M.store in
