@@ -147,6 +147,49 @@ let runner_tests =
         (Staged.stage (run_protocol (module Eba.Chain0) big_om big_config big_om_pattern));
     ]
 
+(* --- network simulator: replay cost vs the lockstep runner, and sampled
+       sweeps at scales the enumerable universes cannot reach --- *)
+
+let net_topology ~n ~loss =
+  Eba.Net.Topology.make ~n
+    ~link:(Eba.Net.Link.make ~latency:(Eba.Net.Link.Uniform (0.2, 1.0)) ~loss)
+
+let net_sweep (module P : Eba.Protocol_intf.PROTOCOL) ~n ~t ~mode ~loss ~seed
+    ~runs () =
+  let params = Eba.Params.make ~n ~t ~horizon:(t + 1) ~mode in
+  let topology = net_topology ~n ~loss in
+  let sync = Eba.Net.Sync.default_for topology in
+  Eba.Net.Netsim.sweep ~jobs:1
+    (module P)
+    params ~sync ~topology
+    ~dynamic:(Eba.Net.Inject.dynamic ~max_faulty:t ())
+    ~seed ~runs
+
+let net_tests =
+  let module S = Eba.Net.Netsim.Make (Eba.Floodset) in
+  let replay_pattern = Eba.Universe.random_pattern rng crash_params in
+  let replay_config = Eba.Config.of_bits ~n:3 0b101 in
+  Test.make_grouped ~name:"net"
+    [
+      Test.make ~name:"netsim replay crash n=3 t=1 T=3 (FloodSet)"
+        (Staged.stage (fun () ->
+             ignore (S.replay crash_params replay_pattern replay_config)));
+      Test.make ~name:"netsim sweep FloodSet n=16 t=5 loss=0.1 x4"
+        (Staged.stage (fun () ->
+             ignore
+               (net_sweep
+                  (module Eba.Floodset)
+                  ~n:16 ~t:5 ~mode:Eba.Params.Crash ~loss:0.1 ~seed:1 ~runs:4
+                  ())));
+      Test.make ~name:"netsim sweep FloodSet n=64 t=8 loss=0.05 x1"
+        (Staged.stage (fun () ->
+             ignore
+               (net_sweep
+                  (module Eba.Floodset)
+                  ~n:64 ~t:8 ~mode:Eba.Params.Crash ~loss:0.05 ~seed:1 ~runs:1
+                  ())));
+    ]
+
 (* --- builder scaling: naive vs shared at scales where sharing bites --- *)
 
 let build_heavy_tests =
@@ -324,6 +367,60 @@ let model_size_json (name, m) =
       ("views", Eba.Json.Int (Eba.View.size m.M.store));
     ]
 
+(* Deterministic netsim rows: fixed seeded sweeps whose summaries are all
+   exact integers and strings (identity includes the seed, topology, sync
+   and adversary), so artifact diffs surface engine changes and any row can
+   be regenerated with `eba netsim` from its recorded identity. *)
+let net_rows () =
+  let row (module P : Eba.Protocol_intf.PROTOCOL) ~n ~t ~mode ~loss ~partitions
+      ~seed ~runs =
+    let params = Eba.Params.make ~n ~t ~horizon:(t + 1) ~mode in
+    let topology = net_topology ~n ~loss in
+    let sync = Eba.Net.Sync.default_for topology in
+    let dynamic =
+      Eba.Net.Inject.dynamic ~partitions
+        ~partition_span:(2.0 *. sync.Eba.Net.Sync.rto)
+        ~max_faulty:t ()
+    in
+    Eba.Net.Net_stats.summary_json
+      (Eba.Net.Netsim.sweep (module P) params ~sync ~topology ~dynamic ~seed ~runs)
+  in
+  let runs = if !smoke then 5 else 25 in
+  [
+    row (module Eba.Floodset) ~n:16 ~t:5 ~mode:Eba.Params.Crash ~loss:0.1
+      ~partitions:0 ~seed:42 ~runs;
+    row (module Eba.P0opt) ~n:8 ~t:2 ~mode:Eba.Params.Omission ~loss:0.02
+      ~partitions:1 ~seed:43 ~runs;
+    row (module Eba.Floodset) ~n:64 ~t:8 ~mode:Eba.Params.Crash ~loss:0.05
+      ~partitions:0 ~seed:2026 ~runs:(if !smoke then 1 else 5);
+  ]
+
+(* Sampled lockstep sweeps, recorded with their full regeneration identity
+   (seed, sample count, universe) via [Stats.source_json]. *)
+let sampled_summary_json (s : Eba.Stats.summary) =
+  Eba.Json.Obj
+    [
+      ("protocol", Eba.Json.String s.Eba.Stats.protocol);
+      ("runs", Eba.Json.Int s.Eba.Stats.runs);
+      ("agreement_violations", Eba.Json.Int s.Eba.Stats.agreement_violations);
+      ("validity_violations", Eba.Json.Int s.Eba.Stats.validity_violations);
+      ("undecided_nonfaulty", Eba.Json.Int s.Eba.Stats.undecided_nonfaulty);
+      ("max_time", Eba.Json.Int s.Eba.Stats.max_time);
+      ("messages_attempted", Eba.Json.Int s.Eba.Stats.messages_attempted);
+      ("messages_delivered", Eba.Json.Int s.Eba.Stats.messages_delivered);
+      ("source", Eba.Stats.source_json s.Eba.Stats.source);
+    ]
+
+let sampled_rows () =
+  let samples = if !smoke then 50 else 500 in
+  let om8 = Eba.Params.make ~n:8 ~t:2 ~horizon:3 ~mode:Eba.Params.Omission in
+  [
+    sampled_summary_json
+      (Eba.Stats.sampled (module Eba.P0opt) crash4_params ~seed:11 ~samples);
+    sampled_summary_json
+      (Eba.Stats.sampled (module Eba.Floodset) om8 ~seed:12 ~samples);
+  ]
+
 let write_json path =
   let entries =
     List.map
@@ -361,6 +458,8 @@ let write_json path =
         ("entries", Eba.Json.List entries);
         ("models", Eba.Json.List (List.map model_size_json fixture_models));
         ("build", Eba.Json.List (List.map build_entry_json (build_cases ())));
+        ("net", Eba.Json.List (net_rows ()));
+        ("sampled", Eba.Json.List (sampled_rows ()));
         ("metrics", Eba.Json.Obj metrics);
       ]
   in
@@ -372,6 +471,8 @@ let () =
   benchmark ~group:"engine" ~quota:0.5 engine_tests;
   print_endline "=== bechamel: operational runners ===";
   benchmark ~group:"runner" ~quota:0.5 runner_tests;
+  print_endline "=== bechamel: network simulator ===";
+  benchmark ~group:"net" ~quota:0.5 net_tests;
   print_endline "=== bechamel: sweep engine, 1 domain vs N domains ===";
   benchmark ~group:"parallel" ~quota:1.0 parallel_tests;
   if not !smoke then begin

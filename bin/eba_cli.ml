@@ -229,6 +229,169 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Print the benchmark tables and figure series (EXPERIMENTS.md).")
     Term.(const run $ jobs_term $ metrics_term $ build_term $ which)
 
+let netsim_cmd =
+  let module Net = Eba.Net in
+  (* The operational protocols the simulator can drive.  [scale_safe]
+     marks the ones whose state holds no processor bitsets, so they run at
+     any [n]; the others are capped at [Bitset.max_width] processors. *)
+  let protocols :
+      (string * (module Eba.Protocol_intf.PROTOCOL) * bool) list =
+    [
+      ("p0", (module Eba.P0.P0), true);
+      ("p1", (module Eba.P0.P1), true);
+      ("p0opt", (module Eba.P0opt), false);
+      ("p0opt+", (module Eba.P0opt_plus), false);
+      ("floodset", (module Eba.Floodset), true);
+      ("chain0", (module Eba.Chain0), false);
+    ]
+  in
+  let protocol_arg =
+    let names = List.map (fun (name, _, _) -> (name, name)) protocols in
+    Arg.(
+      value
+      & opt (enum names) "floodset"
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:
+            (Printf.sprintf "Operational protocol to simulate: %s."
+               (String.concat ", " (List.map fst names))))
+  in
+  let latency_conv =
+    let parse s =
+      match Net.Link.latency_of_string s with
+      | lat -> Ok lat
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Net.Link.latency_to_string l))
+  in
+  let latency_arg =
+    Arg.(
+      value
+      & opt latency_conv (Net.Link.Const 1.0)
+      & info [ "latency" ] ~docv:"SPEC"
+          ~doc:
+            "Per-link latency model: $(b,const:C), $(b,uniform:LO,HI) or \
+             $(b,spike:BASE,PROB,SPIKE) (simulated seconds).")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Per-copy drop probability of every link (data and acks).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed.  The sweep is a pure function of (parameters, \
+             seed): rerunning reproduces the summary bit for bit, for any \
+             $(b,--jobs).")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"RUNS"
+          ~doc:"Independent runs, each with a fresh random initial \
+                configuration and adversary.")
+  in
+  let rto_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rto" ] ~docv:"SECS"
+          ~doc:"Retransmission timeout (default: derived from the latency \
+                bound).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "round-duration" ] ~docv:"SECS"
+          ~doc:"Round window width (default: 8 RTOs).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Retransmissions per unacknowledged message (default 7).")
+  in
+  let omit_prob_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "omit-prob" ] ~docv:"P"
+          ~doc:"Omission modes: probability a faulty processor's copy is \
+                suppressed.")
+  in
+  let partitions_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "partitions" ] ~docv:"K"
+          ~doc:"Transient network partitions per run.")
+  in
+  let span_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "partition-span" ] ~docv:"SECS"
+          ~doc:"Duration of each partition (default: 2 RTOs).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the summary as an eba-bench style JSON object.")
+  in
+  let run params name latency loss seed runs rto window retries omit_prob
+      partitions span json =
+    let (module P : Eba.Protocol_intf.PROTOCOL), scale_safe =
+      let _, p, safe = List.find (fun (n, _, _) -> n = name) protocols in
+      (p, safe)
+    in
+    if (not scale_safe) && params.Eba.Params.n > Eba.Bitset.max_width then
+      Error
+        (`Msg
+          (Printf.sprintf
+             "%s packs processor sets into words and is capped at n <= %d; \
+              use a scale-safe protocol (p0, p1, floodset) for larger systems"
+             name Eba.Bitset.max_width))
+    else begin
+    let topology =
+      Net.Topology.make ~n:params.Eba.Params.n
+        ~link:(Net.Link.make ~latency ~loss)
+    in
+    let dflt = Net.Sync.default_for topology in
+    let rto = Option.value rto ~default:dflt.Net.Sync.rto in
+    let sync =
+      Net.Sync.make
+        ~round_duration:(Option.value window ~default:(8.0 *. rto))
+        ~rto
+        ~max_retries:(Option.value retries ~default:dflt.Net.Sync.max_retries)
+    in
+    let dynamic =
+      Net.Inject.dynamic ~omit_prob ~partitions
+        ~partition_span:(Option.value span ~default:(2.0 *. rto))
+        ~max_faulty:params.Eba.Params.t_failures ()
+    in
+    let summary =
+      Net.Netsim.sweep (module P) params ~sync ~topology ~dynamic ~seed ~runs
+    in
+    Format.printf "%a@." Net.Net_stats.pp summary;
+    Option.iter
+      (fun file -> Eba.Json.to_file file (Net.Net_stats.summary_json summary))
+      json;
+    Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "netsim"
+       ~doc:
+         "Run an operational protocol over the discrete-event network \
+          simulator: seeded sampled workloads with message loss, latency, \
+          crash/omission adversaries and transient partitions, executed \
+          under the timeout-and-retransmission round synchronizer.")
+    Term.(
+      term_result
+        (const run $ params_term $ protocol_arg $ latency_arg $ loss_arg
+        $ seed_arg $ runs_arg $ rto_arg $ window_arg $ retries_arg
+        $ omit_prob_arg $ partitions_arg $ span_arg $ json_arg))
+
 let () =
   (* Spans get bechamel's CLOCK_MONOTONIC stub; the library default is
      wall-clock [Unix.gettimeofday]. *)
@@ -236,4 +399,7 @@ let () =
   Eba.Metrics.report_at_exit ();
   let doc = "eventual Byzantine agreement via continual common knowledge" in
   let info = Cmd.info "eba" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ model_cmd; check_cmd; optimize_cmd; experiments_cmd; tables_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ model_cmd; check_cmd; optimize_cmd; experiments_cmd; tables_cmd; netsim_cmd ]))

@@ -68,3 +68,10 @@ module Floodset = Eba_protocols.Floodset
 module Chain0 = Eba_protocols.Chain0
 module Fip_op = Eba_protocols.Fip_op
 module Stats = Eba_protocols.Stats
+
+(* network simulation *)
+module Net = Eba_net
+(** Discrete-event network simulator: {!Eba_net.Event_queue},
+    {!Eba_net.Link}, {!Eba_net.Topology}, {!Eba_net.Inject},
+    {!Eba_net.Sync}, {!Eba_net.Node}, {!Eba_net.Netsim},
+    {!Eba_net.Net_stats}. *)

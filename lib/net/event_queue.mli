@@ -1,0 +1,27 @@
+(** A deterministic discrete-event scheduler: a binary min-heap of events
+    keyed by [(time, seqno)].
+
+    The sequence number is assigned by {!push} in call order, so two events
+    scheduled for the same instant pop in the order they were pushed —
+    simulation outcomes are a pure function of the push sequence, never of
+    heap internals.  Times must be finite and non-negative. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event.  Raises [Invalid_argument] if [time] is negative or
+    not finite. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event; ties break by push order. *)
+
+val peek_time : 'a t -> float option
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+(** Events currently scheduled. *)
+
+val pushed : 'a t -> int
+(** Total number of pushes so far (the next event's sequence number). *)

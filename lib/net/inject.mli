@@ -1,0 +1,68 @@
+(** Fault injection for the network simulator.
+
+    Two kinds of adversary:
+
+    - {b Replay}: a static {!Eba_sim.Pattern.t} — the semantic layer's
+      notion of a run — re-enacted at the network: a copy of a round-[k]
+      message from [s] to [d] (first transmission or retransmission) is
+      dropped in flight exactly when the pattern says the message is not
+      delivered.  Under a loss-free topology this reproduces the lockstep
+      {!Eba_protocols.Runner} deliveries exactly — the differential hook.
+
+    - {b Dynamic}: adversaries the enumerated universes cannot reach —
+      crash times drawn uniformly over the whole simulated run (so nodes
+      die mid-protocol, silencing retransmissions), per-copy message
+      omission by faulty processors, and transient network partitions that
+      cut data and acks alike across a random bipartition.
+
+    Compilation draws every random choice from the caller's seeded
+    [Random.State.t] in a fixed order, keeping runs reproducible. *)
+
+module Params = Eba_sim.Params
+module Pattern = Eba_sim.Pattern
+
+type dynamic = {
+  dyn_max_faulty : int;  (** actual faulty count drawn uniformly in [0..max] *)
+  dyn_omit_prob : float;
+      (** omission modes: probability a faulty processor's copy is omitted *)
+  dyn_partitions : int;  (** transient partitions per run *)
+  dyn_partition_span : float;  (** duration of each partition *)
+}
+
+val dynamic :
+  ?omit_prob:float -> ?partitions:int -> ?partition_span:float -> max_faulty:int ->
+  unit -> dynamic
+(** Defaults: [omit_prob = 0.5], [partitions = 0], [partition_span = 0].
+    Raises [Invalid_argument] on negative counts or probabilities outside
+    [[0, 1]]. *)
+
+type plan = Replay of Pattern.t | Dynamic of dynamic
+
+val describe : plan -> string
+(** A short human-readable description for telemetry records. *)
+
+type compiled
+
+val compile : Random.State.t -> Params.t -> total_time:float -> plan -> compiled
+(** Draws the run's concrete adversary.  [total_time] bounds crash times
+    and partition starts ([horizon * round_duration] in practice). *)
+
+val faulty : compiled -> bool array
+(** The processors this run's adversary makes faulty. *)
+
+val crash_time : compiled -> proc:int -> float option
+(** Dynamic crash-mode only: the simulated instant the processor dies. *)
+
+val dead : compiled -> now:float -> proc:int -> bool
+(** Has the processor crashed (dynamic mode)?  Dead processors neither
+    send, acknowledge, nor step their protocol state.  Replayed patterns
+    never kill a node — the pattern already encodes its silence, and the
+    runner's crash semantics keep the state machine observing. *)
+
+val blocks_send : compiled -> Random.State.t -> round:int -> sender:int -> receiver:int -> bool
+(** Is this copy suppressed by a processor fault?  Deterministic per
+    message for replayed patterns; sampled per copy for dynamic omission. *)
+
+val cut : compiled -> now:float -> src:int -> dst:int -> bool
+(** Is the wire between the two endpoints severed by a partition at
+    [now]?  Applies to data and acknowledgement copies alike. *)

@@ -1,0 +1,98 @@
+(** Telemetry for the network simulator: per-run outcomes and their
+    aggregation into sweep summaries.
+
+    Every accumulated quantity is an exact integer count, sum or max
+    (simulated times are tracked in integer nanoseconds), so merging
+    per-domain accumulators reproduces a sequential sweep bit for bit
+    whatever the job count — the same discipline as
+    {!Eba_protocols.Stats}.  Specification checks (agreement, validity,
+    decision) quantify over the processors the run's adversary did {e not}
+    make faulty, exactly as in the lockstep harness. *)
+
+module Value = Eba_sim.Value
+module Runner = Eba_protocols.Runner
+module Json = Eba_util.Json
+
+val hist_buckets : int
+(** Number of latency histogram buckets (copies binned by fraction of the
+    round window: bucket [i] holds latencies in
+    [[i/16, (i+1)/16) * round_duration], the last bucket catching
+    everything slower). *)
+
+type wire = {
+  mutable w_copies : int;  (** data copies put on the wire, retransmits included *)
+  mutable w_retransmissions : int;
+  mutable w_acks : int;  (** acknowledgement copies put on the wire *)
+  mutable w_dropped_fault : int;  (** suppressed by the injected adversary *)
+  mutable w_dropped_loss : int;  (** lost to link loss *)
+  mutable w_dropped_cut : int;  (** severed by a transient partition *)
+  mutable w_late : int;  (** data copies arriving after their round closed *)
+  mutable w_duplicates : int;  (** redelivery of an already-received message *)
+  mutable w_to_dead : int;  (** copies arriving at a crashed node *)
+  mutable w_latency_ns_sum : int;  (** over in-flight data copies *)
+  mutable w_latency_ns_max : int;
+  w_latency_hist : int array;  (** length {!hist_buckets} *)
+}
+
+val fresh_wire : unit -> wire
+
+type outcome = {
+  o_decisions : Runner.decision option array;
+      (** first output per processor, [at] in rounds — comparable to the
+          lockstep runner's trace *)
+  o_decision_sim_ns : int option array;  (** the simulated instant of it *)
+  o_faulty : bool array;  (** processors the adversary made faulty *)
+  o_unanimous : Value.t option;  (** the run's initial values, if all equal *)
+  o_attempted : int;  (** protocol messages requested (not copies) *)
+  o_delivered : int;  (** protocol messages that reached their destination *)
+  o_wire : wire;
+}
+
+type state
+(** A mergeable sweep accumulator. *)
+
+val fresh_state : unit -> state
+val consume : state -> outcome -> unit
+val merge : state -> state -> unit
+(** [merge into from] folds [from] into [into]. *)
+
+type summary = {
+  ns_protocol : string;
+  ns_params : string;
+  ns_seed : int;
+  ns_plan : string;
+  ns_topology : string;
+  ns_sync : string;
+      (** with the seed, everything needed to regenerate the sweep *)
+  ns_runs : int;
+  ns_agreement_violations : int;
+  ns_validity_violations : int;
+  ns_undecided_nonfaulty : int;
+  ns_decided_nonfaulty : int;
+  ns_decision_round_sum : int;  (** exact, for bit-identical comparisons *)
+  ns_mean_decision_round : float;
+  ns_max_decision_round : int;
+  ns_decision_ns_sum : int;
+  ns_mean_decision_ns : float;
+  ns_max_decision_ns : int;
+  ns_attempted : int;
+  ns_delivered : int;
+  ns_wire : wire;
+  ns_faulty_runs : int;  (** runs where the adversary made someone faulty *)
+}
+
+val summary_of_state :
+  protocol:string ->
+  params:string ->
+  seed:int ->
+  plan:string ->
+  topology:string ->
+  sync:string ->
+  state ->
+  summary
+
+val pp : Format.formatter -> summary -> unit
+
+val summary_json : summary -> Json.t
+(** Schema-stable object: identity fields as strings, every count as an
+    integer — the [net] rows of the benchmark artifact. *)

@@ -1,0 +1,256 @@
+module Params = Eba_sim.Params
+module Config = Eba_sim.Config
+module Pattern = Eba_sim.Pattern
+module Value = Eba_sim.Value
+module Metrics = Eba_util.Metrics
+module Parallel = Eba_util.Parallel
+
+let m_runs = Metrics.counter "net.runs_simulated"
+let m_events = Metrics.counter "net.events_processed"
+let m_copies = Metrics.counter "net.copies_sent"
+let m_retrans = Metrics.counter "net.retransmissions"
+let m_acks = Metrics.counter "net.acks_sent"
+let m_delivered = Metrics.counter "net.messages_delivered"
+let m_dropped = Metrics.counter "net.copies_dropped"
+
+let lossless_topology ~n =
+  Topology.make ~n ~link:(Link.make ~latency:(Link.Const 1.0) ~loss:0.0)
+
+(* SplitMix64-style finalizer over (seed, run), so per-run generators are
+   well-separated whatever the master seed, and independent of scheduling. *)
+let run_seed ~seed ~run =
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let a = mix (Int64.add (Int64.of_int seed) 0x9e3779b97f4a7c15L) in
+  let b = mix (Int64.logxor a (Int64.of_int run)) in
+  Random.State.make
+    [| Int64.to_int a land max_int; Int64.to_int b land max_int |]
+
+let ns_of_seconds s = int_of_float ((s *. 1e9) +. 0.5)
+
+module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
+  module N = Node.Make (P)
+
+  type event =
+    | Boundary of int
+        (* time k·D: close round k (k >= 1), then open round k+1 (k < horizon) *)
+    | Deliver of { d_round : int; d_sender : int; d_dest : int; d_msg : P.msg }
+    | Ack of { a_round : int; a_from : int; a_to : int }
+        (* a_from acknowledged a_to's round message *)
+    | Timer of { t_round : int; t_sender : int; t_dest : int; t_copy : int; t_msg : P.msg }
+
+  let run_one (params : Params.t) ~(sync : Sync.t) ~topology ~plan ~rng config =
+    Sync.check sync topology;
+    if Topology.n topology <> params.Params.n then
+      invalid_arg "Netsim: topology size does not match params";
+    let n = params.Params.n and horizon = params.Params.horizon in
+    let d = sync.Sync.round_duration in
+    let inj = Inject.compile rng params ~total_time:(float_of_int horizon *. d) plan in
+    let wire = Net_stats.fresh_wire () in
+    let attempted = ref 0 and delivered = ref 0 in
+    let q : event Event_queue.t = Event_queue.create () in
+    let nodes =
+      Array.init n (fun i -> N.create params ~me:i (Config.value config i) ~sim_time:0.0)
+    in
+    for k = 0 to horizon do
+      Event_queue.push q ~time:(float_of_int k *. d) (Boundary k)
+    done;
+    (* Put one copy of a data message on the wire. *)
+    let transmit ~now ~round ~sender ~dest ~copy msg =
+      wire.Net_stats.w_copies <- wire.Net_stats.w_copies + 1;
+      if copy > 0 then
+        wire.Net_stats.w_retransmissions <- wire.Net_stats.w_retransmissions + 1;
+      if Inject.blocks_send inj rng ~round ~sender ~receiver:dest then
+        wire.Net_stats.w_dropped_fault <- wire.Net_stats.w_dropped_fault + 1
+      else if Inject.cut inj ~now ~src:sender ~dst:dest then
+        wire.Net_stats.w_dropped_cut <- wire.Net_stats.w_dropped_cut + 1
+      else
+        let link = Topology.link topology ~src:sender ~dst:dest in
+        if link.Link.loss > 0.0 && Random.State.float rng 1.0 < link.Link.loss then
+          wire.Net_stats.w_dropped_loss <- wire.Net_stats.w_dropped_loss + 1
+        else begin
+          let l = Link.sample_latency rng link.Link.lat in
+          let ns = ns_of_seconds l in
+          wire.Net_stats.w_latency_ns_sum <- wire.Net_stats.w_latency_ns_sum + ns;
+          if ns > wire.Net_stats.w_latency_ns_max then
+            wire.Net_stats.w_latency_ns_max <- ns;
+          let bucket =
+            min (Net_stats.hist_buckets - 1)
+              (int_of_float (float_of_int Net_stats.hist_buckets *. l /. d))
+          in
+          wire.Net_stats.w_latency_hist.(bucket) <-
+            wire.Net_stats.w_latency_hist.(bucket) + 1;
+          Event_queue.push q ~time:(now +. l)
+            (Deliver { d_round = round; d_sender = sender; d_dest = dest; d_msg = msg })
+        end
+    in
+    (* Acknowledgement copies ride the reverse link: same loss, same
+       latency model, severed by the same partitions — but never by the
+       replayed pattern, which only speaks about protocol messages. *)
+    let send_ack ~now ~round ~from ~to_ =
+      wire.Net_stats.w_acks <- wire.Net_stats.w_acks + 1;
+      if Inject.cut inj ~now ~src:from ~dst:to_ then
+        wire.Net_stats.w_dropped_cut <- wire.Net_stats.w_dropped_cut + 1
+      else
+        let link = Topology.link topology ~src:from ~dst:to_ in
+        if link.Link.loss > 0.0 && Random.State.float rng 1.0 < link.Link.loss then
+          wire.Net_stats.w_dropped_loss <- wire.Net_stats.w_dropped_loss + 1
+        else
+          let l = Link.sample_latency rng link.Link.lat in
+          Event_queue.push q ~time:(now +. l)
+            (Ack { a_round = round; a_from = from; a_to = to_ })
+    in
+    let boundary ~now k =
+      if k >= 1 then
+        Array.iter
+          (fun node ->
+            if not (Inject.dead inj ~now ~proc:(N.me node)) then
+              N.finish_round params node ~sim_time:now)
+          nodes;
+      if k < horizon then begin
+        let round = k + 1 in
+        let round_end = Sync.round_end sync ~round in
+        Array.iter
+          (fun node ->
+            let i = N.me node in
+            if not (Inject.dead inj ~now ~proc:i) then begin
+              let out = N.start_round params node ~round in
+              for dest = 0 to n - 1 do
+                if dest <> i then
+                  match out.(dest) with
+                  | None -> ()
+                  | Some msg ->
+                      incr attempted;
+                      transmit ~now ~round ~sender:i ~dest ~copy:0 msg;
+                      if sync.Sync.max_retries > 0 && now +. sync.Sync.rto < round_end
+                      then
+                        Event_queue.push q ~time:(now +. sync.Sync.rto)
+                          (Timer
+                             {
+                               t_round = round;
+                               t_sender = i;
+                               t_dest = dest;
+                               t_copy = 1;
+                               t_msg = msg;
+                             })
+              done
+            end)
+          nodes
+      end
+    in
+    let events = ref 0 in
+    let rec loop () =
+      match Event_queue.pop q with
+      | None -> ()
+      | Some (now, ev) ->
+          incr events;
+          (match ev with
+          | Boundary k -> boundary ~now k
+          | Deliver { d_round; d_sender; d_dest; d_msg } ->
+              if Inject.dead inj ~now ~proc:d_dest then
+                wire.Net_stats.w_to_dead <- wire.Net_stats.w_to_dead + 1
+              else (
+                match N.accept nodes.(d_dest) ~round:d_round ~sender:d_sender d_msg with
+                | `Fresh ->
+                    incr delivered;
+                    send_ack ~now ~round:d_round ~from:d_dest ~to_:d_sender
+                | `Duplicate ->
+                    (* the ack was lost or raced a retransmission: re-ack
+                       so the sender's timer goes quiet *)
+                    wire.Net_stats.w_duplicates <- wire.Net_stats.w_duplicates + 1;
+                    send_ack ~now ~round:d_round ~from:d_dest ~to_:d_sender
+                | `Late -> wire.Net_stats.w_late <- wire.Net_stats.w_late + 1)
+          | Ack { a_round; a_from; a_to } ->
+              N.ack nodes.(a_to) ~round:a_round ~dest:a_from
+          | Timer { t_round; t_sender; t_dest; t_copy; t_msg } ->
+              let node = nodes.(t_sender) in
+              if
+                (not (Inject.dead inj ~now ~proc:t_sender))
+                && N.round node = t_round
+                && not (N.acked node ~dest:t_dest)
+              then begin
+                transmit ~now ~round:t_round ~sender:t_sender ~dest:t_dest
+                  ~copy:t_copy t_msg;
+                if
+                  t_copy < sync.Sync.max_retries
+                  && now +. sync.Sync.rto < Sync.round_end sync ~round:t_round
+                then
+                  Event_queue.push q ~time:(now +. sync.Sync.rto)
+                    (Timer
+                       {
+                         t_round;
+                         t_sender;
+                         t_dest;
+                         t_copy = t_copy + 1;
+                         t_msg;
+                       })
+              end);
+          loop ()
+    in
+    loop ();
+    if Metrics.enabled () then begin
+      Metrics.incr m_runs;
+      Metrics.add m_events !events;
+      Metrics.add m_copies wire.Net_stats.w_copies;
+      Metrics.add m_retrans wire.Net_stats.w_retransmissions;
+      Metrics.add m_acks wire.Net_stats.w_acks;
+      Metrics.add m_delivered !delivered;
+      Metrics.add m_dropped
+        (wire.Net_stats.w_dropped_fault + wire.Net_stats.w_dropped_loss
+       + wire.Net_stats.w_dropped_cut)
+    end;
+    {
+      Net_stats.o_decisions = Array.map N.decision nodes;
+      o_decision_sim_ns =
+        Array.map
+          (fun node -> Option.map ns_of_seconds (N.decision_sim_time node))
+          nodes;
+      o_faulty = Inject.faulty inj;
+      o_unanimous = Config.all_equal config;
+      o_attempted = !attempted;
+      o_delivered = !delivered;
+      o_wire = wire;
+    }
+
+  let replay ?sync (params : Params.t) pattern config =
+    let topology = lossless_topology ~n:params.Params.n in
+    let sync = match sync with Some s -> s | None -> Sync.default_for topology in
+    (* Replay draws nothing from the rng: the pattern decides every drop
+       and the lossless links are deterministic. *)
+    let rng = Random.State.make [| 0 |] in
+    run_one params ~sync ~topology ~plan:(Inject.Replay pattern) ~rng config
+end
+
+let sweep ?jobs (module P : Eba_protocols.Protocol_intf.PROTOCOL)
+    (params : Params.t) ~sync ~topology ~dynamic ~seed ~runs =
+  let module E = Make (P) in
+  Sync.check sync topology;
+  let n = params.Params.n in
+  let consume st run =
+    let rng = run_seed ~seed ~run in
+    let config =
+      Config.make
+        (Array.init n (fun _ ->
+             if Random.State.bool rng then Value.One else Value.Zero))
+    in
+    let outcome =
+      E.run_one params ~sync ~topology ~plan:(Inject.Dynamic dynamic) ~rng config
+    in
+    Net_stats.consume st outcome
+  in
+  let st =
+    Parallel.map_reduce_seq ?jobs ~init:Net_stats.fresh_state ~fold:consume
+      ~merge:Net_stats.merge
+      (Seq.init runs Fun.id)
+  in
+  Net_stats.summary_of_state
+    ~protocol:P.name
+    ~params:(Format.asprintf "%a" Params.pp params)
+    ~seed
+    ~plan:(Inject.describe (Inject.Dynamic dynamic))
+    ~topology:(Format.asprintf "%a" Topology.pp topology)
+    ~sync:(Format.asprintf "%a" Sync.pp sync)
+    st

@@ -1,0 +1,82 @@
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+module Runner = Eba_protocols.Runner
+
+module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
+  type t = {
+    nd_me : int;
+    mutable nd_state : P.state;
+    mutable nd_round : int;
+    mutable nd_closed : bool;  (* current round already fed to [receive] *)
+    mutable nd_inbox : P.msg option array;
+    mutable nd_got : bool array;
+    mutable nd_acked : bool array;
+    mutable nd_decision : Runner.decision option;
+    mutable nd_decision_sim : float option;
+  }
+
+  let note_output node ~time ~sim_time =
+    match node.nd_decision with
+    | Some _ -> ()
+    | None -> (
+        match P.output node.nd_state with
+        | None -> ()
+        | Some value ->
+            node.nd_decision <- Some { Runner.at = time; value };
+            node.nd_decision_sim <- Some sim_time)
+
+  let create (params : Params.t) ~me value ~sim_time =
+    let n = params.Params.n in
+    let node =
+      {
+        nd_me = me;
+        nd_state = P.init params ~me value;
+        nd_round = 0;
+        nd_closed = true;
+        nd_inbox = Array.make n None;
+        nd_got = Array.make n false;
+        nd_acked = Array.make n false;
+        nd_decision = None;
+        nd_decision_sim = None;
+      }
+    in
+    note_output node ~time:0 ~sim_time;
+    node
+
+  let me node = node.nd_me
+  let round node = node.nd_round
+
+  let start_round params node ~round =
+    if round <> node.nd_round + 1 then
+      invalid_arg "Node.start_round: rounds must be entered in order";
+    node.nd_round <- round;
+    node.nd_closed <- false;
+    Array.fill node.nd_inbox 0 (Array.length node.nd_inbox) None;
+    Array.fill node.nd_got 0 (Array.length node.nd_got) false;
+    Array.fill node.nd_acked 0 (Array.length node.nd_acked) false;
+    let out = P.send params node.nd_state ~round in
+    if Array.length out <> Array.length node.nd_inbox then
+      invalid_arg "Node: send must return one slot per destination";
+    out
+
+  let accept node ~round ~sender msg =
+    if round <> node.nd_round || node.nd_closed then `Late
+    else if node.nd_got.(sender) then `Duplicate
+    else begin
+      node.nd_got.(sender) <- true;
+      node.nd_inbox.(sender) <- Some msg;
+      `Fresh
+    end
+
+  let ack node ~round ~dest = if round = node.nd_round then node.nd_acked.(dest) <- true
+  let acked node ~dest = node.nd_acked.(dest)
+
+  let finish_round params node ~sim_time =
+    node.nd_closed <- true;
+    node.nd_state <- P.receive params node.nd_state ~round:node.nd_round node.nd_inbox;
+    note_output node ~time:node.nd_round ~sim_time
+
+  let decision node = node.nd_decision
+  let decision_sim_time node = node.nd_decision_sim
+  let state node = node.nd_state
+end

@@ -1,0 +1,34 @@
+type t = { round_duration : float; rto : float; max_retries : int }
+
+let make ~round_duration ~rto ~max_retries =
+  if not (Float.is_finite round_duration) || round_duration <= 0.0 then
+    invalid_arg "Sync.make: round_duration must be finite and > 0";
+  if not (Float.is_finite rto) || rto <= 0.0 then
+    invalid_arg "Sync.make: rto must be finite and > 0";
+  if rto > round_duration then
+    invalid_arg "Sync.make: rto cannot exceed the round window";
+  if max_retries < 0 then invalid_arg "Sync.make: max_retries must be >= 0";
+  { round_duration; rto; max_retries }
+
+let default_for topology =
+  let bound = Topology.latency_bound topology in
+  let rto = if bound > 0.0 then 2.5 *. bound else 1.0 in
+  make ~round_duration:(8.0 *. rto) ~rto ~max_retries:7
+
+let check t topology =
+  let bound = Topology.latency_bound topology in
+  if bound >= t.round_duration then
+    invalid_arg
+      (Printf.sprintf
+         "Sync.check: latency bound %g does not fit the round window %g"
+         bound t.round_duration)
+
+let attempts t =
+  1 + min t.max_retries (int_of_float (t.round_duration /. t.rto))
+
+let round_start t ~round = float_of_int (round - 1) *. t.round_duration
+let round_end t ~round = float_of_int round *. t.round_duration
+
+let pp fmt t =
+  Format.fprintf fmt "round=%g rto=%g retries=%d" t.round_duration t.rto
+    t.max_retries

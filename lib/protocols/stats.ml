@@ -17,6 +17,11 @@ type by_failures = {
   undecided : int;
 }
 
+type source =
+  | Enumerated
+  | Exhaustive_universe of { flavour : string; universe : string }
+  | Sampled_universe of { seed : int; samples : int; universe : string }
+
 type summary = {
   protocol : string;
   runs : int;
@@ -28,6 +33,7 @@ type summary = {
   by_failures : by_failures list;
   messages_attempted : int;
   messages_delivered : int;
+  source : source;
 }
 
 let run_one (module P : Protocol_intf.PROTOCOL) params config pattern =
@@ -135,7 +141,7 @@ let consume run n st (config, pattern) =
   if !agreement_bad then st.s_agreement <- st.s_agreement + 1;
   if !validity_bad then st.s_validity <- st.s_validity + 1
 
-let summary_of_state name st =
+let summary_of_state ?(source = Enumerated) name st =
   let by_failures =
     Hashtbl.fold (fun f a acc -> (f, a) :: acc) st.s_per_f []
     |> List.sort (fun (f1, _) (f2, _) -> Stdlib.compare f1 f2)
@@ -163,9 +169,13 @@ let summary_of_state name st =
     by_failures;
     messages_attempted = st.s_attempted;
     messages_delivered = st.s_delivered;
+    source;
   }
 
-let over_seq ?jobs (module P : Protocol_intf.PROTOCOL) (params : Params.t) workload =
+let universe_desc (params : Params.t) = Format.asprintf "%a" Params.pp params
+
+let over_seq ?jobs ?source (module P : Protocol_intf.PROTOCOL) (params : Params.t)
+    workload =
   let module R = Runner.Make (P) in
   let run config pattern = R.run params config pattern in
   let st =
@@ -174,12 +184,21 @@ let over_seq ?jobs (module P : Protocol_intf.PROTOCOL) (params : Params.t) workl
           ~fold:(consume run params.Params.n)
           ~merge:merge_state workload)
   in
-  summary_of_state P.name st
+  summary_of_state ?source P.name st
 
-let over ?jobs p params workload = over_seq ?jobs p params (List.to_seq workload)
+let over ?jobs ?source p params workload =
+  over_seq ?jobs ?source p params (List.to_seq workload)
 
 let exhaustive ?(flavour = Universe.Exhaustive) ?jobs p (params : Params.t) =
-  over_seq ?jobs p params (Universe.workload_seq ~flavour params)
+  let source =
+    Exhaustive_universe
+      {
+        flavour =
+          (match flavour with Universe.Exhaustive -> "exhaustive" | Universe.Sparse -> "sparse");
+        universe = universe_desc params;
+      }
+  in
+  over_seq ?jobs ~source p params (Universe.workload_seq ~flavour params)
 
 let sampled ?jobs p (params : Params.t) ~seed ~samples =
   let rng = Random.State.make [| seed |] in
@@ -193,18 +212,48 @@ let sampled ?jobs p (params : Params.t) ~seed ~samples =
         in
         (config, Universe.random_pattern rng params))
   in
-  over ?jobs p params workload
+  let source =
+    Sampled_universe
+      { seed; samples; universe = universe_desc params ^ " uniform(config×pattern)" }
+  in
+  over ?jobs ~source p params workload
 
 let pp_by_failures fmt b =
   Format.fprintf fmt "f=%d: %d runs, mean %.2f, max %d%s" b.failures b.count b.mean_time
     b.max_time
     (if b.undecided > 0 then Printf.sprintf ", %d undecided" b.undecided else "")
 
+let pp_source fmt = function
+  | Enumerated -> Format.pp_print_string fmt "enumerated workload"
+  | Exhaustive_universe { flavour; universe } ->
+      Format.fprintf fmt "%s universe of %s" flavour universe
+  | Sampled_universe { seed; samples; universe } ->
+      Format.fprintf fmt "%d samples from %s, seed=%d" samples universe seed
+
+let source_json = function
+  | Enumerated -> Eba_util.Json.Obj [ ("kind", Eba_util.Json.String "enumerated") ]
+  | Exhaustive_universe { flavour; universe } ->
+      Eba_util.Json.Obj
+        [
+          ("kind", Eba_util.Json.String "exhaustive");
+          ("flavour", Eba_util.Json.String flavour);
+          ("universe", Eba_util.Json.String universe);
+        ]
+  | Sampled_universe { seed; samples; universe } ->
+      Eba_util.Json.Obj
+        [
+          ("kind", Eba_util.Json.String "sampled");
+          ("seed", Eba_util.Json.Int seed);
+          ("samples", Eba_util.Json.Int samples);
+          ("universe", Eba_util.Json.String universe);
+        ]
+
 let pp fmt s =
   Format.fprintf fmt "%s over %d runs: agreement-violations=%d validity-violations=%d \
                       undecided=%d mean-decision=%.2f max-decision=%d msgs=%d/%d@\n"
     s.protocol s.runs s.agreement_violations s.validity_violations s.undecided_nonfaulty
     s.mean_time s.max_time s.messages_delivered s.messages_attempted;
+  Format.fprintf fmt "  source: %a@\n" pp_source s.source;
   List.iter (fun b -> Format.fprintf fmt "  %a@\n" pp_by_failures b) s.by_failures
 
 let pp_table_header fmt () =

@@ -18,6 +18,16 @@ type by_failures = {
   undecided : int;  (** nonfaulty processors without a decision *)
 }
 
+(** Where a summary's workload came from — enough to regenerate it
+    exactly.  Sampled summaries carry their seed and a printed universe
+    description, so any sampled number in EXPERIMENTS.md or a benchmark
+    artifact can be reproduced with the recorded [(seed, samples,
+    universe)] triple. *)
+type source =
+  | Enumerated  (** caller-supplied workload ({!over} / {!over_seq}) *)
+  | Exhaustive_universe of { flavour : string; universe : string }
+  | Sampled_universe of { seed : int; samples : int; universe : string }
+
 type summary = {
   protocol : string;
   runs : int;
@@ -29,6 +39,7 @@ type summary = {
   by_failures : by_failures list;  (** ascending [f] *)
   messages_attempted : int;
   messages_delivered : int;
+  source : source;
 }
 
 val run_one :
@@ -36,6 +47,7 @@ val run_one :
 
 val over_seq :
   ?jobs:int ->
+  ?source:source ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   (Config.t * Pattern.t) Seq.t ->
@@ -49,6 +61,7 @@ val over_seq :
 
 val over :
   ?jobs:int ->
+  ?source:source ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   (Config.t * Pattern.t) list ->
@@ -75,5 +88,10 @@ val sampled :
     of [jobs]). *)
 
 val pp : Format.formatter -> summary -> unit
+val pp_source : Format.formatter -> source -> unit
 val pp_table_row : Format.formatter -> summary -> unit
 val pp_table_header : Format.formatter -> unit -> unit
+
+val source_json : source -> Eba_util.Json.t
+(** [{"kind": ...}] plus the seed/samples/universe of sampled sources —
+    what the benchmark artifact records next to sampled numbers. *)

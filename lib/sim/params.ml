@@ -6,7 +6,7 @@ type t = { n : int; t_failures : int; horizon : int; mode : mode }
 
 let make ~n ~t ~horizon ~mode =
   if n < 2 then invalid_arg "Params.make: need at least 2 processors";
-  if n > Bitset.max_width then invalid_arg "Params.make: n too large for bitsets";
+  if n > 4096 then invalid_arg "Params.make: n is unreasonably large";
   if t < 0 || t >= n then invalid_arg "Params.make: need 0 <= t < n";
   if horizon < 1 then invalid_arg "Params.make: horizon must be >= 1";
   { n; t_failures = t; horizon; mode }

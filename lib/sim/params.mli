@@ -18,7 +18,13 @@ type t = private {
 val make : n:int -> t:int -> horizon:int -> mode:mode -> t
 (** Validates and builds a parameter record.  Raises [Invalid_argument] on
     nonsensical combinations ([n < 2], [t < 0], [t >= n], [horizon < 1],
-    [n > Bitset.max_width]). *)
+    [n > 4096]).
+
+    [n] may exceed [Bitset.max_width]: the network simulator runs the
+    scale-safe operational protocols (those whose state does not pack
+    processor sets into words) far beyond the enumerable sizes.  Anything
+    that needs processor bitsets — {!all_procs}, patterns, universes, the
+    model builder — still raises loudly past [Bitset.max_width]. *)
 
 val mode_equal : mode -> mode -> bool
 val pp_mode : Format.formatter -> mode -> unit

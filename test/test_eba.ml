@@ -20,5 +20,6 @@ let () =
       Test_misc.suite;
       Test_metrics.suite;
       Test_differential.suite;
+      Test_netsim.suite;
       Test_golden.suite;
     ]
