@@ -386,6 +386,37 @@ let net_rows () =
       (Eba.Net.Netsim.sweep (module P) params ~sync ~topology ~dynamic ~seed ~runs)
   in
   let runs = if !smoke then 5 else 25 in
+  (* Wide-set rows (full runs only): the optimal protocols past the word
+     width, picked per-n by [for_params] — P0opt/P0opt+/Chain0 at n = 128
+     and n = 256, t = 16, 5% loss.  CI asserts zero violations and no
+     undecided nonfaulty on every one of these. *)
+  let wide_rows =
+    if !smoke then []
+    else
+      let wrow selector ~n ~t ~mode ~loss ~seed ~runs =
+        let params = Eba.Params.make ~n ~t ~horizon:(t + 1) ~mode in
+        let topology = net_topology ~n ~loss in
+        let sync = Eba.Net.Sync.default_for topology in
+        let dynamic = Eba.Net.Inject.dynamic ~max_faulty:t () in
+        Eba.Net.Net_stats.summary_json
+          (Eba.Net.Netsim.sweep (selector params) params ~sync ~topology ~dynamic
+             ~seed ~runs)
+      in
+      [
+        wrow Eba.P0opt.for_params ~n:128 ~t:16 ~mode:Eba.Params.Crash ~loss:0.05
+          ~seed:5128 ~runs:5;
+        wrow Eba.P0opt_plus.for_params ~n:128 ~t:16 ~mode:Eba.Params.Crash
+          ~loss:0.05 ~seed:5129 ~runs:5;
+        wrow Eba.Chain0.for_params ~n:128 ~t:16 ~mode:Eba.Params.Omission
+          ~loss:0.05 ~seed:5130 ~runs:5;
+        wrow Eba.P0opt.for_params ~n:256 ~t:16 ~mode:Eba.Params.Crash ~loss:0.05
+          ~seed:5256 ~runs:5;
+        wrow Eba.P0opt_plus.for_params ~n:256 ~t:16 ~mode:Eba.Params.Crash
+          ~loss:0.05 ~seed:5257 ~runs:3;
+        wrow Eba.Chain0.for_params ~n:256 ~t:16 ~mode:Eba.Params.Omission
+          ~loss:0.05 ~seed:5258 ~runs:3;
+      ]
+  in
   [
     row (module Eba.Floodset) ~n:16 ~t:5 ~mode:Eba.Params.Crash ~loss:0.1
       ~partitions:0 ~seed:42 ~runs;
@@ -394,6 +425,7 @@ let net_rows () =
     row (module Eba.Floodset) ~n:64 ~t:8 ~mode:Eba.Params.Crash ~loss:0.05
       ~partitions:0 ~seed:2026 ~runs:(if !smoke then 1 else 5);
   ]
+  @ wide_rows
 
 (* Sampled lockstep sweeps, recorded with their full regeneration identity
    (seed, sample count, universe) via [Stats.source_json]. *)

@@ -231,22 +231,23 @@ let tables_cmd =
 
 let netsim_cmd =
   let module Net = Eba.Net in
-  (* The operational protocols the simulator can drive.  [scale_safe]
-     marks the ones whose state holds no processor bitsets, so they run at
-     any [n]; the others are capped at [Bitset.max_width] processors. *)
+  (* The operational protocols the simulator can drive.  Each entry is a
+     selector from the run parameters: the set-carrying protocols (p0opt,
+     p0opt+, chain0) pick their word-backed instance at n <= 62 and the
+     wide (limb-array) one beyond, so every protocol runs at any n. *)
   let protocols :
-      (string * (module Eba.Protocol_intf.PROTOCOL) * bool) list =
+      (string * (Eba.Params.t -> (module Eba.Protocol_intf.PROTOCOL))) list =
     [
-      ("p0", (module Eba.P0.P0), true);
-      ("p1", (module Eba.P0.P1), true);
-      ("p0opt", (module Eba.P0opt), false);
-      ("p0opt+", (module Eba.P0opt_plus), false);
-      ("floodset", (module Eba.Floodset), true);
-      ("chain0", (module Eba.Chain0), false);
+      ("p0", fun _ -> (module Eba.P0.P0));
+      ("p1", fun _ -> (module Eba.P0.P1));
+      ("p0opt", Eba.P0opt.for_params);
+      ("p0opt+", Eba.P0opt_plus.for_params);
+      ("floodset", (fun _ -> (module Eba.Floodset)));
+      ("chain0", Eba.Chain0.for_params);
     ]
   in
   let protocol_arg =
-    let names = List.map (fun (name, _, _) -> (name, name)) protocols in
+    let names = List.map (fun (name, _) -> (name, name)) protocols in
     Arg.(
       value
       & opt (enum names) "floodset"
@@ -340,18 +341,9 @@ let netsim_cmd =
   in
   let run params name latency loss seed runs rto window retries omit_prob
       partitions span json =
-    let (module P : Eba.Protocol_intf.PROTOCOL), scale_safe =
-      let _, p, safe = List.find (fun (n, _, _) -> n = name) protocols in
-      (p, safe)
+    let (module P : Eba.Protocol_intf.PROTOCOL) =
+      (List.assoc name protocols) params
     in
-    if (not scale_safe) && params.Eba.Params.n > Eba.Bitset.max_width then
-      Error
-        (`Msg
-          (Printf.sprintf
-             "%s packs processor sets into words and is capped at n <= %d; \
-              use a scale-safe protocol (p0, p1, floodset) for larger systems"
-             name Eba.Bitset.max_width))
-    else begin
     let topology =
       Net.Topology.make ~n:params.Eba.Params.n
         ~link:(Net.Link.make ~latency ~loss)
@@ -377,7 +369,6 @@ let netsim_cmd =
       (fun file -> Eba.Json.to_file file (Net.Net_stats.summary_json summary))
       json;
     Ok ()
-    end
   in
   Cmd.v
     (Cmd.info "netsim"

@@ -21,6 +21,7 @@
 
 (* foundation *)
 module Bitset = Eba_util.Bitset
+module Procset = Eba_util.Procset
 module Combi = Eba_util.Combi
 module Parallel = Eba_util.Parallel
 module Metrics = Eba_util.Metrics

@@ -18,72 +18,84 @@
     actually fail.  The knowledge-based [FIP(Z⁰, O⁰)] dominates this
     implementation (its decide-1 test is the exact epistemic condition,
     not the no-news sufficient condition); the test-suite checks both
-    directions of that relationship. *)
+    directions of that relationship.
+
+    The suspicion sets in state and on the wire are the only
+    processor-set data, so the protocol is functorized over
+    {!Eba_util.Procset.S}: [Word] at [n <= 62], [Wide] at any [n]. *)
 
 module Params = Eba_sim.Params
 module Value = Eba_sim.Value
-module Bitset = Eba_util.Bitset
 
-type msg = { m_chain : bool; m_suspected : Bitset.t }
+module Make (S : Eba_util.Procset.S) = struct
+  type msg = { m_chain : bool; m_suspected : S.t }
 
-type state = {
-  me : int;
-  n : int;
-  chain : bool;
-  suspected : Bitset.t;
-  decided : Value.t option;
-  time : int;
-}
-
-let name = "Chain0"
-
-let init (params : Params.t) ~me value =
-  let chain = Value.equal value Value.Zero in
-  {
-    me;
-    n = params.Params.n;
-    chain;
-    suspected = Bitset.empty;
-    decided = (if chain then Some Value.Zero else None);
-    time = 0;
+  type state = {
+    me : int;
+    n : int;
+    chain : bool;
+    suspected : S.t;
+    decided : Value.t option;
+    time : int;
   }
 
-let send (params : Params.t) st ~round:_ =
-  let out = Array.make params.Params.n None in
-  for j = 0 to params.Params.n - 1 do
-    if j <> st.me then out.(j) <- Some { m_chain = st.chain; m_suspected = st.suspected }
-  done;
-  out
+  let name = "Chain0"
 
-let receive _params st ~round arrived =
-  (* Silence in this round convicts the sender, and gossip arriving this
-     round counts too: the chain-hop trust condition of the paper is
-     ¬B^N at the time the hop lands, i.e. {e after} all round-k evidence.
-     So convictions are merged first and flags accepted only from senders
-     who survive the merge. *)
-  let silent = ref Bitset.empty in
-  let gossip = ref Bitset.empty in
-  let flagged = ref Bitset.empty in
-  Array.iteri
-    (fun j m ->
-      if j <> st.me then
-        match m with
-        | None -> silent := Bitset.add j !silent
-        | Some { m_chain; m_suspected } ->
-            gossip := Bitset.union !gossip m_suspected;
-            if m_chain then flagged := Bitset.add j !flagged)
-    arrived;
-  let suspected' = Bitset.union st.suspected (Bitset.union !silent !gossip) in
-  let no_news = Bitset.equal suspected' st.suspected in
-  let chain = st.chain || not (Bitset.is_empty (Bitset.diff !flagged suspected')) in
-  let decided =
-    match st.decided with
-    | Some _ as d -> d
-    | None ->
-        if chain then Some Value.Zero
-        else if no_news then Some Value.One
-        else None
-  in
-  { st with chain; suspected = suspected'; decided; time = round }
+  let init (params : Params.t) ~me value =
+    let chain = Value.equal value Value.Zero in
+    {
+      me;
+      n = params.Params.n;
+      chain;
+      suspected = S.empty;
+      decided = (if chain then Some Value.Zero else None);
+      time = 0;
+    }
 
-let output st = st.decided
+  let send (params : Params.t) st ~round:_ =
+    let out = Array.make params.Params.n None in
+    for j = 0 to params.Params.n - 1 do
+      if j <> st.me then out.(j) <- Some { m_chain = st.chain; m_suspected = st.suspected }
+    done;
+    out
+
+  let receive _params st ~round arrived =
+    (* Silence in this round convicts the sender, and gossip arriving this
+       round counts too: the chain-hop trust condition of the paper is
+       ¬B^N at the time the hop lands, i.e. {e after} all round-k evidence.
+       So convictions are merged first and flags accepted only from senders
+       who survive the merge. *)
+    let silent = ref S.empty in
+    let gossip = ref S.empty in
+    let flagged = ref S.empty in
+    Array.iteri
+      (fun j m ->
+        if j <> st.me then
+          match m with
+          | None -> silent := S.add j !silent
+          | Some { m_chain; m_suspected } ->
+              gossip := S.union !gossip m_suspected;
+              if m_chain then flagged := S.add j !flagged)
+      arrived;
+    let suspected' = S.union st.suspected (S.union !silent !gossip) in
+    let no_news = S.equal suspected' st.suspected in
+    let chain = st.chain || not (S.is_empty (S.diff !flagged suspected')) in
+    let decided =
+      match st.decided with
+      | Some _ as d -> d
+      | None ->
+          if chain then Some Value.Zero
+          else if no_news then Some Value.One
+          else None
+    in
+    { st with chain; suspected = suspected'; decided; time = round }
+
+  let output st = st.decided
+end
+
+module Word = Make (Eba_util.Procset.Word)
+module Wide = Make (Eba_util.Procset.Wide)
+include Word
+
+let for_params (params : Params.t) : (module Protocol_intf.PROTOCOL) =
+  if params.Params.n <= Eba_util.Bitset.max_width then (module Word) else (module Wide)

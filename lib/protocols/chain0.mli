@@ -7,4 +7,18 @@
     remains safe but loses liveness (silence no longer convicts the
     sender). *)
 
+module Make (S : Eba_util.Procset.S) : Protocol_intf.PROTOCOL
+(** The protocol over an arbitrary processor-set representation; all
+    instances decide identically and send bit-identical messages. *)
+
+module Word : Protocol_intf.PROTOCOL
+(** [Make (Procset.Word)]: single-word suspicion sets, [n <= 62]. *)
+
+module Wide : Protocol_intf.PROTOCOL
+(** [Make (Procset.Wide)]: limb-array suspicion sets, any [n]. *)
+
 include Protocol_intf.PROTOCOL
+(** The historical interface — an alias of {!Word}. *)
+
+val for_params : Eba_sim.Params.t -> (module Protocol_intf.PROTOCOL)
+(** {!Word} when [n] fits a single word, {!Wide} beyond. *)

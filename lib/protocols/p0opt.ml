@@ -12,81 +12,95 @@
     — in which case no nonfaulty processor can ever learn of a 0 (crash
     failures only).  Theorem 6.2: this makes the same decisions as the
     knowledge-based [F^Λ,2] at corresponding points, with linear-size
-    messages instead of full-information ones. *)
+    messages instead of full-information ones.
+
+    The only processor-set state is the heard-from set of rule (b), so the
+    protocol is functorized over {!Eba_util.Procset.S}: [Word] keeps the
+    single-word sets (and the allocation profile) of the original at
+    [n <= 62]; [Wide] runs the identical rules at any [n] under the
+    network simulator. *)
 
 module Params = Eba_sim.Params
 module Value = Eba_sim.Value
-module Bitset = Eba_util.Bitset
 
-type msg = Value.t option array  (* known initial values *)
+module Make (S : Eba_util.Procset.S) = struct
+  type msg = Value.t option array  (* known initial values *)
 
-type state = {
-  me : int;
-  n : int;
-  known : Value.t option array;
-  heard_last : Bitset.t option;  (* senders heard from in the last round *)
-  heard_prev : Bitset.t option;  (* ... and the round before *)
-  time : int;
-  decided : Value.t option;
-}
+  type state = {
+    me : int;
+    n : int;
+    known : Value.t option array;
+    heard_last : S.t option;  (* senders heard from in the last round *)
+    heard_prev : S.t option;  (* ... and the round before *)
+    time : int;
+    decided : Value.t option;
+  }
 
-let name = "P0opt"
+  let name = "P0opt"
 
-let knows_zero st =
-  Array.exists (function Some v -> Value.equal v Value.Zero | None -> false) st.known
+  let knows_zero st =
+    Array.exists (function Some v -> Value.equal v Value.Zero | None -> false) st.known
 
-let knows_all_one st =
-  Array.for_all (function Some v -> Value.equal v Value.One | None -> false) st.known
+  let knows_all_one st =
+    Array.for_all (function Some v -> Value.equal v Value.One | None -> false) st.known
 
-let quiescent st =
-  (* condition (b): same heard-from set two rounds running *)
-  match (st.heard_last, st.heard_prev) with
-  | Some a, Some b -> Bitset.equal a b
-  | (Some _ | None), _ -> false
+  let quiescent st =
+    (* condition (b): same heard-from set two rounds running *)
+    match (st.heard_last, st.heard_prev) with
+    | Some a, Some b -> S.equal a b
+    | (Some _ | None), _ -> false
 
-let decide st =
-  if st.decided <> None then st.decided
-  else if knows_zero st then Some Value.Zero
-  else if knows_all_one st || (st.time >= 2 && quiescent st) then Some Value.One
-  else None
+  let decide st =
+    if st.decided <> None then st.decided
+    else if knows_zero st then Some Value.Zero
+    else if knows_all_one st || (st.time >= 2 && quiescent st) then Some Value.One
+    else None
 
-let init (params : Params.t) ~me value =
-  let known = Array.make params.Params.n None in
-  known.(me) <- Some value;
-  let st =
-    { me; n = params.Params.n; known; heard_last = None; heard_prev = None; time = 0; decided = None }
-  in
-  { st with decided = decide st }
+  let init (params : Params.t) ~me value =
+    let known = Array.make params.Params.n None in
+    known.(me) <- Some value;
+    let st =
+      { me; n = params.Params.n; known; heard_last = None; heard_prev = None; time = 0; decided = None }
+    in
+    { st with decided = decide st }
 
-let send (params : Params.t) st ~round:_ =
-  let out = Array.make params.Params.n None in
-  for j = 0 to params.Params.n - 1 do
-    if j <> st.me then out.(j) <- Some (Array.copy st.known)
-  done;
-  out
+  let send (params : Params.t) st ~round:_ =
+    (* One shared vector for every destination: [receive] copies before
+       mutating and never writes into an arrived message, so the snapshot
+       is immutable once sent. *)
+    let snapshot : msg = st.known in
+    Array.init params.Params.n (fun j -> if j = st.me then None else Some snapshot)
 
-let receive _params st ~round arrived =
-  let known = Array.copy st.known in
-  let heard = ref Bitset.empty in
-  Array.iteri
-    (fun j m ->
-      match m with
-      | None -> ()
-      | Some their_known ->
-          heard := Bitset.add j !heard;
-          Array.iteri
-            (fun p v -> match v with Some _ when known.(p) = None -> known.(p) <- v | _ -> ())
-            their_known)
-    arrived;
-  let st =
-    {
-      st with
-      known;
-      heard_prev = st.heard_last;
-      heard_last = Some !heard;
-      time = round;
-    }
-  in
-  { st with decided = decide st }
+  let receive _params st ~round arrived =
+    let known = Array.copy st.known in
+    let heard = ref S.empty in
+    Array.iteri
+      (fun j m ->
+        match m with
+        | None -> ()
+        | Some their_known ->
+            heard := S.add j !heard;
+            Array.iteri
+              (fun p v -> match v with Some _ when known.(p) = None -> known.(p) <- v | _ -> ())
+              their_known)
+      arrived;
+    let st =
+      {
+        st with
+        known;
+        heard_prev = st.heard_last;
+        heard_last = Some !heard;
+        time = round;
+      }
+    in
+    { st with decided = decide st }
 
-let output st = st.decided
+  let output st = st.decided
+end
+
+module Word = Make (Eba_util.Procset.Word)
+module Wide = Make (Eba_util.Procset.Wide)
+include Word
+
+let for_params (params : Params.t) : (module Protocol_intf.PROTOCOL) =
+  if params.Params.n <= Eba_util.Bitset.max_width then (module Word) else (module Wide)

@@ -9,4 +9,22 @@
     fails for [t ≥ 2] (see {!P0opt_plus} and EXPERIMENTS.md E9).  [P0opt]
     remains a correct EBA protocol at every [t]. *)
 
+module Make (S : Eba_util.Procset.S) : Protocol_intf.PROTOCOL
+(** The protocol over an arbitrary processor-set representation.  All
+    instances make bit-identical decisions and send bit-identical
+    messages; only the set representation (hence width cap and
+    allocation profile) differs. *)
+
+module Word : Protocol_intf.PROTOCOL
+(** [Make (Procset.Word)]: single-word sets, [n <= 62]. *)
+
+module Wide : Protocol_intf.PROTOCOL
+(** [Make (Procset.Wide)]: limb-array sets, any [n]. *)
+
 include Protocol_intf.PROTOCOL
+(** The historical interface — an alias of {!Word}. *)
+
+val for_params : Eba_sim.Params.t -> (module Protocol_intf.PROTOCOL)
+(** {!Word} when [n] fits a single word, {!Wide} beyond — so the
+    simulator keeps the fast path at small [n] and never hits the
+    bitset width cap at large [n]. *)

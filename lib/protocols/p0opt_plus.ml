@@ -26,139 +26,157 @@
 
     The test-suite checks, exhaustively over crash universes with t = 1
     and t = 2, that this protocol makes {e exactly} the decisions of
-    [F^Λ,2] at corresponding points. *)
+    [F^Λ,2] at corresponding points.
+
+    Rows are immutable once shared (every mutation copies first), so
+    tables flow through messages by reference: [send] shares the whole
+    table with every destination and merging keeps the winning row
+    as-is.  Functorized over {!Eba_util.Procset.S} for the heard-sets,
+    the [O(n² T)]-bit messages run at any [n] under the simulator. *)
 
 module Params = Eba_sim.Params
 module Value = Eba_sim.Value
-module Bitset = Eba_util.Bitset
 
-type row = {
-  r_value : Value.t;
-  r_heard : Bitset.t array;  (* r_heard.(k-1) = senders heard in round k *)
-  r_upto : int;  (* rounds covered: r_heard.(0 .. r_upto - 1) are valid *)
-}
+module Make (S : Eba_util.Procset.S) = struct
+  type row = {
+    r_value : Value.t;
+    r_heard : S.t array;  (* r_heard.(k-1) = senders heard in round k *)
+    r_upto : int;  (* rounds covered: r_heard.(0 .. r_upto - 1) are valid *)
+  }
 
-type msg = row option array  (* my whole table *)
+  type msg = row option array  (* my whole table *)
 
-type state = {
-  me : int;
-  n : int;
-  horizon : int;
-  table : row option array;
-  time : int;
-  decided : Value.t option;
-}
+  type state = {
+    me : int;
+    n : int;
+    horizon : int;
+    table : row option array;
+    time : int;
+    decided : Value.t option;
+  }
 
-let name = "P0opt+"
+  let name = "P0opt+"
 
-let knows_zero st =
-  Array.exists
-    (function Some r -> Value.equal r.r_value Value.Zero | None -> false)
-    st.table
+  let knows_zero st =
+    Array.exists
+      (function Some r -> Value.equal r.r_value Value.Zero | None -> false)
+      st.table
 
-(* first round at which x is provably crashed: some known heard-set misses
-   a message from x *)
-let crash_evidence st x =
-  let best = ref None in
-  Array.iteri
-    (fun a row ->
-      match row with
-      | None -> ()
-      | Some r ->
-          if a <> x then
-            for k = 1 to r.r_upto do
-              if not (Bitset.mem x r.r_heard.(k - 1)) then
-                match !best with
-                | Some b when b <= k -> ()
-                | Some _ | None -> best := Some k
-            done)
-    st.table;
-  !best
+  (* first round at which x is provably crashed: some known heard-set misses
+     a message from x *)
+  let crash_evidence st x =
+    let best = ref None in
+    Array.iteri
+      (fun a row ->
+        match row with
+        | None -> ()
+        | Some r ->
+            if a <> x then
+              for k = 1 to r.r_upto do
+                if not (S.mem x r.r_heard.(k - 1)) then
+                  match !best with
+                  | Some b when b <= k -> ()
+                  | Some _ | None -> best := Some k
+              done)
+      st.table;
+    !best
 
-let upto st x = match st.table.(x) with None -> -1 | Some r -> r.r_upto
+  let upto st x = match st.table.(x) with None -> -1 | Some r -> r.r_upto
 
-let known_not_delivered st ~sender ~receiver ~round =
-  match st.table.(receiver) with
-  | Some r when round <= r.r_upto -> not (Bitset.mem sender r.r_heard.(round - 1))
-  | Some _ | None -> false
+  let known_not_delivered st ~sender ~receiver ~round =
+    match st.table.(receiver) with
+    | Some r when round <= r.r_upto -> not (S.mem sender r.r_heard.(round - 1))
+    | Some _ | None -> false
 
-let safe_to_decide_one st =
-  let n = st.n in
-  let evidence = Array.init n (fun x -> crash_evidence st x) in
-  let k_now = Array.init n (fun x -> st.table.(x) = None) in
-  let k_now = ref k_now in
-  for k = 1 to st.time do
-    let next =
-      Array.init n (fun x ->
-          upto st x < k
-          && ((!k_now).(x)
-             ||
-             let feeds b =
-               (!k_now).(b)
-               && (not (known_not_delivered st ~sender:b ~receiver:x ~round:k))
-               && match evidence.(b) with Some kb -> kb >= k | None -> true
-             in
-             let rec any b = b < n && ((b <> x && feeds b) || any (b + 1)) in
-             any 0))
+  let safe_to_decide_one st =
+    let n = st.n in
+    let evidence = Array.init n (fun x -> crash_evidence st x) in
+    let k_now = Array.init n (fun x -> st.table.(x) = None) in
+    let k_now = ref k_now in
+    for k = 1 to st.time do
+      let next =
+        Array.init n (fun x ->
+            upto st x < k
+            && ((!k_now).(x)
+               ||
+               let feeds b =
+                 (!k_now).(b)
+                 && (not (known_not_delivered st ~sender:b ~receiver:x ~round:k))
+                 && match evidence.(b) with Some kb -> kb >= k | None -> true
+               in
+               let rec any b = b < n && ((b <> x && feeds b) || any (b + 1)) in
+               any 0))
+      in
+      k_now := next
+    done;
+    let threat x = (!k_now).(x) && evidence.(x) = None in
+    let rec any x = x < st.n && (threat x || any (x + 1)) in
+    not (any 0)
+
+  let decide st =
+    if st.decided <> None then st.decided
+    else if knows_zero st then Some Value.Zero
+    else if safe_to_decide_one st then Some Value.One
+    else None
+
+  let init (params : Params.t) ~me value =
+    let table = Array.make params.Params.n None in
+    table.(me) <-
+      Some { r_value = value; r_heard = Array.make params.Params.horizon S.empty; r_upto = 0 };
+    let st =
+      {
+        me;
+        n = params.Params.n;
+        horizon = params.Params.horizon;
+        table;
+        time = 0;
+        decided = None;
+      }
     in
-    k_now := next
-  done;
-  let threat x = (!k_now).(x) && evidence.(x) = None in
-  let rec any x = x < st.n && (threat x || any (x + 1)) in
-  not (any 0)
+    { st with decided = decide st }
 
-let decide st =
-  if st.decided <> None then st.decided
-  else if knows_zero st then Some Value.Zero
-  else if safe_to_decide_one st then Some Value.One
-  else None
+  let copy_row r = { r with r_heard = Array.copy r.r_heard }
 
-let init (params : Params.t) ~me value =
-  let table = Array.make params.Params.n None in
-  table.(me) <-
-    Some { r_value = value; r_heard = Array.make params.Params.horizon Bitset.empty; r_upto = 0 };
-  let st =
-    {
-      me;
-      n = params.Params.n;
-      horizon = params.Params.horizon;
-      table;
-      time = 0;
-      decided = None;
-    }
-  in
-  { st with decided = decide st }
+  let send (params : Params.t) st ~round:_ =
+    (* Rows are copy-on-write (see [receive]), so the table itself is the
+       snapshot: one reference shared with every destination instead of
+       n - 1 deep copies of an O(n · horizon) structure. *)
+    let snapshot : msg = st.table in
+    Array.init params.Params.n (fun j -> if j = st.me then None else Some snapshot)
 
-let copy_row r = { r with r_heard = Array.copy r.r_heard }
+  let merge_row mine theirs =
+    match (mine, theirs) with
+    | None, r | r, None -> r
+    | Some a, Some b -> Some (if a.r_upto >= b.r_upto then a else b)
 
-let send (params : Params.t) st ~round:_ =
-  let snapshot = Array.map (Option.map copy_row) st.table in
-  Array.init params.Params.n (fun j -> if j = st.me then None else Some snapshot)
+  let receive _params st ~round arrived =
+    let table = Array.map Fun.id st.table in
+    let heard = ref S.empty in
+    Array.iteri
+      (fun j m ->
+        match m with
+        | None -> ()
+        | Some their_table ->
+            heard := S.add j !heard;
+            Array.iteri (fun x r -> table.(x) <- merge_row table.(x) r) their_table)
+      arrived;
+    (* extend my own row with this round's heard-set; the copy keeps every
+       row that escaped through [send] (or arrived from elsewhere) frozen *)
+    (match table.(st.me) with
+    | Some r ->
+        let r = copy_row r in
+        r.r_heard.(round - 1) <- !heard;
+        table.(st.me) <- Some { r with r_upto = round }
+    | None -> assert false);
+    let st = { st with table; time = round } in
+    { st with decided = decide st }
 
-let merge_row mine theirs =
-  match (mine, theirs) with
-  | None, r | r, None -> Option.map copy_row r
-  | Some a, Some b -> Some (copy_row (if a.r_upto >= b.r_upto then a else b))
+  let output st = st.decided
+end
 
-let receive _params st ~round arrived =
-  let table = Array.map Fun.id st.table in
-  let heard = ref Bitset.empty in
-  Array.iteri
-    (fun j m ->
-      match m with
-      | None -> ()
-      | Some their_table ->
-          heard := Bitset.add j !heard;
-          Array.iteri (fun x r -> table.(x) <- merge_row table.(x) r) their_table)
-    arrived;
-  (* extend my own row with this round's heard-set *)
-  (match table.(st.me) with
-  | Some r ->
-      let r = copy_row r in
-      r.r_heard.(round - 1) <- !heard;
-      table.(st.me) <- Some { r with r_upto = round }
-  | None -> assert false);
-  let st = { st with table; time = round } in
-  { st with decided = decide st }
+module Word = Make (Eba_util.Procset.Word)
+module Wide = Make (Eba_util.Procset.Wide)
+include Word
 
-let output st = st.decided
+let for_params (params : Params.t) : (module Protocol_intf.PROTOCOL) =
+  if params.Params.n <= Eba_util.Bitset.max_width then (module Word) else (module Wide)

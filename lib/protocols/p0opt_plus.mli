@@ -9,4 +9,18 @@
     (a closure over unknown values and uncontradicted deliveries) is
     provably crashed and hence permanently silent. *)
 
+module Make (S : Eba_util.Procset.S) : Protocol_intf.PROTOCOL
+(** The protocol over an arbitrary processor-set representation; all
+    instances decide identically and send bit-identical messages. *)
+
+module Word : Protocol_intf.PROTOCOL
+(** [Make (Procset.Word)]: single-word heard-sets, [n <= 62]. *)
+
+module Wide : Protocol_intf.PROTOCOL
+(** [Make (Procset.Wide)]: limb-array heard-sets, any [n]. *)
+
 include Protocol_intf.PROTOCOL
+(** The historical interface — an alias of {!Word}. *)
+
+val for_params : Eba_sim.Params.t -> (module Protocol_intf.PROTOCOL)
+(** {!Word} when [n] fits a single word, {!Wide} beyond. *)

@@ -112,13 +112,21 @@ let consume run n st (config, pattern) =
   let trace : Runner.trace = run config pattern in
   st.s_attempted <- st.s_attempted + trace.Runner.messages_attempted;
   st.s_delivered <- st.s_delivered + trace.Runner.messages_delivered;
-  let nonfaulty = Bitset.diff (Bitset.full n) (Pattern.faulty pattern) in
+  (* iterate the nonfaulty slots directly instead of materializing
+     [Bitset.full n], which caps n at the word width; [Bitset.mem] is
+     total, so this path is safe at any n *)
+  let faulty = Pattern.faulty pattern in
+  let iter_nonfaulty f =
+    for i = 0 to n - 1 do
+      if not (Bitset.mem i faulty) then f i
+    done
+  in
   let f = Pattern.num_failures pattern in
   let a = acc_for st f in
   a.a_count <- a.a_count + 1;
   let seen = ref None and agreement_bad = ref false and validity_bad = ref false in
   let unanimous = Config.all_equal config in
-  Bitset.iter
+  iter_nonfaulty
     (fun i ->
       match trace.Runner.decisions.(i) with
       | None ->
@@ -136,8 +144,7 @@ let consume run n st (config, pattern) =
           | Some v -> if not (Value.equal v value) then agreement_bad := true);
           (match unanimous with
           | Some v when not (Value.equal v value) -> validity_bad := true
-          | Some _ | None -> ()))
-    nonfaulty;
+          | Some _ | None -> ()));
   if !agreement_bad then st.s_agreement <- st.s_agreement + 1;
   if !validity_bad then st.s_validity <- st.s_validity + 1
 

@@ -214,14 +214,18 @@ let prefix_forest ?(flavour = Exhaustive) (params : Params.t) =
   in
   (!offset, roots)
 
+(* Every arithmetic step is overflow-checked: with the n-cap at 4096 these
+   closed forms leave the int range as early as n = 63 (crash needs
+   2^(n-1)), and a wrapped count is worse than no count — raise
+   [Combi.Overflow] instead. *)
 let behaviour_count ?(flavour = Exhaustive) (params : Params.t) =
   let n = params.Params.n and horizon = params.Params.horizon in
   match (params.Params.mode, flavour) with
-  | Params.Crash, _ -> 1 + (horizon * (Combi.pow 2 (n - 1) - 1))
+  | Params.Crash, _ -> Combi.add_exn 1 (Combi.mul_exn horizon (Combi.pow 2 (n - 1) - 1))
   | Params.Omission, Exhaustive -> Combi.pow (Combi.pow 2 (n - 1)) horizon
   | Params.Omission, Sparse -> Combi.pow (n + 1) horizon
   | Params.General_omission, Exhaustive ->
-      Combi.pow (Combi.pow 2 (n - 1) * Combi.pow 2 (n - 1)) horizon
+      Combi.pow (Combi.mul_exn (Combi.pow 2 (n - 1)) (Combi.pow 2 (n - 1))) horizon
   | Params.General_omission, Sparse -> Combi.pow ((n + 1) * (n + 1)) horizon
 
 let count ?(flavour = Exhaustive) (params : Params.t) =
@@ -229,7 +233,9 @@ let count ?(flavour = Exhaustive) (params : Params.t) =
   let n = params.Params.n in
   let rec total f acc =
     if f > params.Params.t_failures then acc
-    else total (f + 1) (acc + (Combi.choose n f * Combi.pow per_proc f))
+    else
+      total (f + 1)
+        (Combi.add_exn acc (Combi.mul_exn (Combi.choose n f) (Combi.pow per_proc f)))
   in
   total 0 0
 
@@ -240,12 +246,28 @@ let random_behaviour rng (params : Params.t) proc =
   let horizon = params.Params.horizon in
   match params.Params.mode with
   | Params.Crash ->
+      (* Round is uniform over [1 .. horizon+1]; the extra slot [horizon+1]
+         is deliberately aliased to the in-horizon clean crash, giving the
+         clean behaviour weight 1/(horizon+1).  Pinned by the distribution
+         test in test_sim.ml so the weighting stays intentional. *)
       let round = 1 + Random.State.int rng (horizon + 1) in
       if round > horizon then Pattern.clean_crash ~horizon ~proc
       else
         let rest = others params proc in
-        let recipients = Bitset.inter (random_subset rng rest) rest in
-        let recipients = if Bitset.equal recipients rest then Bitset.remove (Option.get (Bitset.choose rest)) recipients else recipients in
+        let recipients = random_subset rng rest in
+        let recipients =
+          (* A full recipient set aliases the clean crash; de-alias by
+             dropping one *uniformly drawn* recipient.  (Dropping the
+             lowest-indexed one, as this used to, deterministically biased
+             every sampled crash universe: processor 0 was never the sole
+             missed recipient.) *)
+          if Bitset.equal recipients rest && not (Bitset.is_empty rest) then begin
+            let members = Bitset.to_list rest in
+            let victim = List.nth members (Random.State.int rng (List.length members)) in
+            Bitset.remove victim recipients
+          end
+          else recipients
+        in
         Pattern.crash ~horizon ~proc ~round ~recipients
   | Params.Omission ->
       let rest = others params proc in

@@ -80,12 +80,22 @@ val prefix_forest :
 
 val count : ?flavour:flavour -> Params.t -> int
 (** [List.length (patterns p)] computed arithmetically, for guarding against
-    accidentally huge models. *)
+    accidentally huge models.  Raises [Combi.Overflow] when the count does
+    not fit in a native [int] (e.g. exhaustive omission at [n >= 63], or
+    crash at [n >= 63] with any horizon) instead of wrapping to a
+    negative/garbage size. *)
 
 val behaviour_count : ?flavour:flavour -> Params.t -> int
 (** Per-processor behaviour count computed arithmetically:
-    [List.length (behaviours_for p ~proc)] for any [proc]. *)
+    [List.length (behaviours_for p ~proc)] for any [proc].  Raises
+    [Combi.Overflow] like {!count}. *)
 
 val random_pattern : Random.State.t -> Params.t -> Pattern.t
 (** A uniformly-chosen-shape random pattern for the operational layer:
-    failure count uniform in [0..t], then uniform behaviours. *)
+    failure count uniform in [0..t], then uniform behaviours.  In crash
+    mode each faulty processor's behaviour is drawn as: crash round
+    uniform over [1 .. horizon+1] with [horizon+1] meaning the in-horizon
+    clean crash (so the clean behaviour carries weight [1/(horizon+1)] by
+    design), then a uniformly random strict subset of recipients — when
+    the drawn subset is everybody, one uniformly drawn recipient is
+    dropped to de-alias from the clean crash. *)

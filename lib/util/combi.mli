@@ -1,4 +1,14 @@
-(** Combinatorial enumeration helpers used by the adversary universes. *)
+(** Combinatorial enumeration helpers used by the adversary universes.
+
+    With the processor cap at 4096, the closed-form universe counts leave
+    the native int range early (2^62 behaviours at n = 63 crash); every
+    counting function here raises {!Overflow} instead of silently wrapping
+    to garbage or negative values. *)
+
+exception Overflow
+(** Raised by {!add_exn}, {!mul_exn}, {!pow} and {!choose} when a result
+    (or, for [choose], an intermediate product) does not fit in a native
+    [int]. *)
 
 val cartesian : 'a list list -> 'a list list
 (** [cartesian [l1; ...; lk]] is the list of all [k]-tuples (as lists)
@@ -10,8 +20,18 @@ val cartesian_seq : 'a list list -> 'a list Seq.t
     huge products can be consumed without ever being materialized.  The
     sequence is persistent: it may be re-traversed (tails are recomputed). *)
 
+val add_exn : int -> int -> int
+(** Checked addition of non-negative ints.  Raises {!Overflow} on wrap. *)
+
+val mul_exn : int -> int -> int
+(** Checked multiplication of non-negative ints.  Raises {!Overflow} on
+    wrap. *)
+
 val choose : int -> int -> int
-(** Binomial coefficient [choose n k]; 0 when [k < 0] or [k > n]. *)
+(** Binomial coefficient [choose n k]; 0 when [k < 0] or [k > n].  Raises
+    {!Overflow} when an intermediate product exceeds [max_int] (slightly
+    conservative: the running product stays within a factor [k] of the
+    result). *)
 
 val assignments : 'a list -> 'b list -> ('a * 'b) list list
 (** [assignments keys values] enumerates every total function from [keys]
@@ -19,4 +39,4 @@ val assignments : 'a list -> 'b list -> ('a * 'b) list list
 
 val pow : int -> int -> int
 (** Integer exponentiation.  Raises [Invalid_argument] on negative
-    exponents. *)
+    exponents and {!Overflow} when the result exceeds [max_int]. *)

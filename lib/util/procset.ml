@@ -1,0 +1,235 @@
+module type S = sig
+  type t
+
+  val max_width : int
+  val empty : t
+  val full : int -> t
+  val singleton : int -> t
+  val add : int -> t -> t
+  val remove : int -> t -> t
+  val mem : int -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val subset : t -> t -> bool
+  val disjoint : t -> t -> bool
+  val cardinal : t -> int
+  val of_list : int list -> t
+  val to_list : t -> int list
+  val iter : (int -> unit) -> t -> unit
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  val for_all : (int -> bool) -> t -> bool
+  val exists : (int -> bool) -> t -> bool
+  val filter : (int -> bool) -> t -> t
+  val choose : t -> int option
+  val subsets : int -> t list
+  val subsets_of : t -> t list
+  val subsets_upto : int -> int -> t list
+  val pp : Format.formatter -> t -> unit
+end
+
+module Word : S with type t = Bitset.t = Bitset
+
+module Wide : S = struct
+  (* Limbs of [wbits] = Bitset.max_width bits each, so a one-limb Wide set
+     carries exactly a Word set's bit pattern.  Canonical form: no trailing
+     zero limbs ([empty] is [| |]); every operation restores it, so
+     [equal] is plain limb-wise comparison and [compare] orders by numeric
+     bit-pattern value (length first, then limbs most-significant down),
+     agreeing with [Word.compare] on one-limb sets. *)
+  type t = int array
+
+  let wbits = Bitset.max_width
+
+  (* all [wbits] bits set; [max_int] = 2^62 - 1 exactly, no shift needed *)
+  let limb_full = max_int
+  let max_width = max_int
+  let empty = [||]
+
+  let check_index i =
+    if i < 0 then invalid_arg (Printf.sprintf "Procset.Wide: negative index %d" i)
+
+  let trim a =
+    let len = ref (Array.length a) in
+    while !len > 0 && a.(!len - 1) = 0 do
+      decr len
+    done;
+    if !len = Array.length a then a else Array.sub a 0 !len
+
+  let full n =
+    if n < 0 then invalid_arg (Printf.sprintf "Procset.Wide: width %d out of range" n);
+    if n = 0 then empty
+    else
+      let limbs = ((n - 1) / wbits) + 1 in
+      Array.init limbs (fun w ->
+          let bits = min wbits (n - (w * wbits)) in
+          limb_full lsr (wbits - bits))
+
+  let singleton i =
+    check_index i;
+    let w = i / wbits in
+    let a = Array.make (w + 1) 0 in
+    a.(w) <- 1 lsl (i mod wbits);
+    a
+
+  let mem i s =
+    i >= 0
+    &&
+    let w = i / wbits in
+    w < Array.length s && s.(w) land (1 lsl (i mod wbits)) <> 0
+
+  let add i s =
+    check_index i;
+    if mem i s then s
+    else begin
+      let w = i / wbits in
+      let a = Array.make (max (Array.length s) (w + 1)) 0 in
+      Array.blit s 0 a 0 (Array.length s);
+      a.(w) <- a.(w) lor (1 lsl (i mod wbits));
+      a
+    end
+
+  let remove i s =
+    if not (mem i s) then s
+    else begin
+      let a = Array.copy s in
+      let w = i / wbits in
+      a.(w) <- a.(w) land lnot (1 lsl (i mod wbits));
+      trim a
+    end
+
+  let union a b =
+    let long, short = if Array.length a >= Array.length b then (a, b) else (b, a) in
+    if Array.length short = 0 then long
+    else begin
+      (* [long]'s top limb is nonzero (canonical), so the result is too *)
+      let r = Array.copy long in
+      Array.iteri (fun w x -> r.(w) <- r.(w) lor x) short;
+      r
+    end
+
+  let inter a b =
+    let len = min (Array.length a) (Array.length b) in
+    trim (Array.init len (fun w -> a.(w) land b.(w)))
+
+  let diff a b =
+    trim
+      (Array.mapi
+         (fun w x -> if w < Array.length b then x land lnot b.(w) else x)
+         a)
+
+  let is_empty s = Array.length s = 0
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec eq w = w < 0 || (a.(w) = b.(w) && eq (w - 1)) in
+    eq (Array.length a - 1)
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else
+      let rec cmp w =
+        if w < 0 then 0
+        else
+          let c = Stdlib.compare a.(w) b.(w) in
+          if c <> 0 then c else cmp (w - 1)
+      in
+      cmp (la - 1)
+
+  let subset a b =
+    let lb = Array.length b in
+    let rec ok w =
+      w >= Array.length a
+      || (a.(w) land lnot (if w < lb then b.(w) else 0) = 0 && ok (w + 1))
+    in
+    ok 0
+
+  let disjoint a b =
+    let len = min (Array.length a) (Array.length b) in
+    let rec ok w = w >= len || (a.(w) land b.(w) = 0 && ok (w + 1)) in
+    ok 0
+
+  let popcount x =
+    let rec count acc x = if x = 0 then acc else count (acc + 1) (x land (x - 1)) in
+    count 0 x
+
+  let cardinal s = Array.fold_left (fun acc x -> acc + popcount x) 0 s
+
+  let fold f s init =
+    let acc = ref init in
+    Array.iteri
+      (fun w limb ->
+        let base = w * wbits in
+        let rec bits i x =
+          if x <> 0 then begin
+            if x land 1 <> 0 then acc := f (base + i) !acc;
+            bits (i + 1) (x lsr 1)
+          end
+        in
+        bits 0 limb)
+      s;
+    !acc
+
+  let of_list l = List.fold_left (fun s i -> add i s) empty l
+  let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+  let iter f s = fold (fun i () -> f i) s ()
+  let for_all p s = fold (fun i acc -> acc && p i) s true
+  let exists p s = fold (fun i acc -> acc || p i) s false
+  let filter p s = fold (fun i acc -> if p i then add i acc else acc) s empty
+
+  let choose s =
+    if is_empty s then None
+    else begin
+      let w = ref 0 in
+      while s.(!w) = 0 do
+        incr w
+      done;
+      let rec first i x = if x land 1 <> 0 then i else first (i + 1) (x lsr 1) in
+      Some ((!w * wbits) + first 0 s.(!w))
+    end
+
+  (* Counting in binary over the member positions (lowest member =
+     least-significant digit) is exactly the increasing-bit-pattern order
+     Word's [(sub - mask) land mask] successor trick produces. *)
+  let subsets_of s =
+    let members = Array.of_list (to_list s) in
+    let k = Array.length members in
+    if k > wbits then
+      invalid_arg (Printf.sprintf "Procset.Wide.subsets_of: %d members" k);
+    let of_counter c =
+      let r = ref empty in
+      for j = 0 to k - 1 do
+        if c land (1 lsl j) <> 0 then r := add members.(j) !r
+      done;
+      !r
+    in
+    List.init (1 lsl k) of_counter
+
+  let subsets n =
+    if n < 0 || n > wbits then
+      invalid_arg (Printf.sprintf "Procset.Wide.subsets: width %d out of range" n);
+    subsets_of (full n)
+
+  (* [c]-element subsets of [{0..limit-1}] in colexicographic order (sort
+     by largest element, then recurse) — for sets of equal cardinality
+     this coincides with increasing bit-pattern order, matching Word's
+     [subsets_upto]. *)
+  let rec combs c limit =
+    if c = 0 then [ empty ]
+    else
+      List.concat_map
+        (fun m -> List.map (add m) (combs (c - 1) m))
+        (List.init (limit - c + 1) (fun i -> i + c - 1))
+
+  let subsets_upto n k =
+    if n < 0 then invalid_arg "Procset.Wide.subsets_upto";
+    List.concat_map (fun c -> combs c n) (List.init (min k n + 1) Fun.id)
+
+  let pp fmt s =
+    Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (to_list s)))
+end

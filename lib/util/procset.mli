@@ -1,0 +1,102 @@
+(** Processor-set representations behind one signature.
+
+    The model-checking core packs processor sets into single-word
+    {!Bitset}s ([max_width = 62]) — the right call on the enumerable
+    universes where sets are hash keys and hot-loop operands.  The
+    operational protocols (P0opt, P0opt+, Chain0), however, only need the
+    set {e algebra}, and the network simulator runs them far beyond 62
+    processors.  This module abstracts exactly the {!Bitset} operations
+    those protocols use into a signature {!S} with two implementations:
+
+    - {!Word} — {!Bitset} itself: the int-backed fast path, widths ≤ 62;
+    - {!Wide} — a canonical [int array] of 62-bit limbs: any width.
+
+    The two agree observationally wherever both are defined: for every
+    operation and every width ≤ 62, [Word] and [Wide] produce equal sets
+    (element-for-element, including enumeration order of [to_list],
+    [fold] and [subsets_of]) — property-tested in [test_procset.ml].
+    Protocols functorized over {!S} therefore make bit-identical decisions
+    under either representation; [P0opt.for_params] and friends pick
+    [Word] at [n ≤ Bitset.max_width] and [Wide] beyond, so small-n runs
+    keep the single-word hot path. *)
+
+module type S = sig
+  type t
+  (** A set of small non-negative integers. *)
+
+  val max_width : int
+  (** Largest supported element count (62 for {!Word}, effectively
+      unbounded for {!Wide}). *)
+
+  val empty : t
+
+  val full : int -> t
+  (** [full n] is [{0, ..., n-1}].  Raises [Invalid_argument] if [n] is
+      negative or exceeds {!max_width}. *)
+
+  val singleton : int -> t
+  val add : int -> t -> t
+  val remove : int -> t -> t
+  val mem : int -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+
+  val diff : t -> t -> t
+  (** [diff a b] is [a \ b]. *)
+
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** A total order.  Both implementations order by the numeric value of
+      the bit pattern, so [Word.compare] and [Wide.compare] agree on every
+      pair of sets with elements below 62. *)
+
+  val subset : t -> t -> bool
+  (** [subset a b] is true iff every element of [a] is in [b]. *)
+
+  val disjoint : t -> t -> bool
+  val cardinal : t -> int
+  val of_list : int list -> t
+
+  val to_list : t -> int list
+  (** Elements in increasing order. *)
+
+  val iter : (int -> unit) -> t -> unit
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  val for_all : (int -> bool) -> t -> bool
+  val exists : (int -> bool) -> t -> bool
+  val filter : (int -> bool) -> t -> t
+
+  val choose : t -> int option
+  (** Smallest element, if any. *)
+
+  val subsets : int -> t list
+  (** [subsets n] enumerates all [2^n] subsets of [full n], in increasing
+      bit-pattern order.  Raises [Invalid_argument] when [2^n] subsets
+      cannot be enumerated ([n > 62]). *)
+
+  val subsets_of : t -> t list
+  (** [subsets_of s] enumerates all [2^(cardinal s)] subsets of [s], in
+      increasing bit-pattern order (equivalently: counting in binary over
+      the member positions, lowest member = least-significant digit).
+      Raises [Invalid_argument] if [cardinal s > 62]. *)
+
+  val subsets_upto : int -> int -> t list
+  (** [subsets_upto n k] enumerates the subsets of [full n] of cardinality
+      at most [k], smallest cardinality first, colexicographic (=
+      increasing bit-pattern) order within each cardinality. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints as [{0,2,3}]. *)
+end
+
+module Word : S with type t = Bitset.t
+(** The single-word fast path: {!Bitset} re-exported at signature {!S}. *)
+
+module Wide : S
+(** The wide path: a canonical array of 62-bit limbs (no trailing zero
+    limbs, so structural equality is set equality).  Widths are bounded
+    only by memory; [full], [add], [mem] & co. accept any non-negative
+    index.  [subsets]/[subsets_of] still refuse to enumerate more than
+    [2^62] subsets. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "eba"
     [
       Test_bitset.suite;
+      Test_procset.suite;
       Test_parallel.suite;
       Test_sim.suite;
       Test_fip.suite;

@@ -183,4 +183,116 @@ let universe_tests =
         check_int "oob" 0 (Combi.choose 3 5));
   ]
 
-let suite = ("sim", value_tests @ config_tests @ pattern_tests @ universe_tests)
+(* With the Params n-cap at 4096, the closed-form universe counts cross
+   max_int as early as n = 62-63; they must raise Combi.Overflow, never
+   wrap to garbage. *)
+let overflow_tests =
+  [
+    test "pow is exact up to the boundary and raises past it" (fun () ->
+        check_int "2^61" 2305843009213693952 (Combi.pow 2 61);
+        Alcotest.check_raises "2^62" Combi.Overflow (fun () -> ignore (Combi.pow 2 62)));
+    test "choose is checked" (fun () ->
+        check_int "62C5" 6471002 (Combi.choose 62 5);
+        check_int "symmetric" (Combi.choose 62 5) (Combi.choose 62 57);
+        Alcotest.check_raises "67C33" Combi.Overflow (fun () ->
+            ignore (Combi.choose 67 33)));
+    test "add_exn / mul_exn" (fun () ->
+        check_int "add" 7 (Combi.add_exn 3 4);
+        check_int "mul" 12 (Combi.mul_exn 3 4);
+        check_int "mul 0" 0 (Combi.mul_exn 0 max_int);
+        Alcotest.check_raises "add wrap" Combi.Overflow (fun () ->
+            ignore (Combi.add_exn max_int 1));
+        Alcotest.check_raises "mul wrap" Combi.Overflow (fun () ->
+            ignore (Combi.mul_exn ((max_int / 2) + 1) 2)));
+    test "universe counts at the n=62/63/64 boundary" (fun () ->
+        let crash n = Params.make ~n ~t:1 ~horizon:1 ~mode:Params.Crash in
+        let om n = Params.make ~n ~t:1 ~horizon:2 ~mode:Params.Omission in
+        (* largest exactly-representable crash behaviour count: 2^61 *)
+        check_int "crash n=62 T=1 behaviours" (Combi.pow 2 61)
+          (U.behaviour_count (crash 62));
+        Alcotest.check_raises "crash n=63 behaviours" Combi.Overflow (fun () ->
+            ignore (U.behaviour_count (crash 63)));
+        (* the pattern count multiplies once more and overflows one step
+           earlier than the per-processor behaviour count *)
+        Alcotest.check_raises "crash n=62 count" Combi.Overflow (fun () ->
+            ignore (U.count (crash 62)));
+        Alcotest.check_raises "omission n=63 behaviours" Combi.Overflow (fun () ->
+            ignore (U.behaviour_count (om 63)));
+        Alcotest.check_raises "omission n=64 count" Combi.Overflow (fun () ->
+            ignore (U.count (om 64)));
+        Alcotest.check_raises "general omission n=64 count" Combi.Overflow (fun () ->
+            ignore
+              (U.count (Params.make ~n:64 ~t:1 ~horizon:2 ~mode:Params.General_omission))));
+  ]
+
+(* Pins the *intentional* shape of the sampled crash distribution
+   (documented in universe.mli): crash round uniform over [1 .. T+1] with
+   the extra slot aliased to the clean crash, and — the PR-5 bias fix —
+   the full-recipient-set de-alias dropping a *uniform* element, not
+   always the lowest-indexed one (which used to give rank 0 half the
+   single-miss mass instead of 1/3). *)
+let sampling_tests =
+  [
+    test "sampled crash: round weights 1/(T+1), de-alias unbiased" (fun () ->
+        let params = Params.make ~n:4 ~t:1 ~horizon:3 ~mode:Params.Crash in
+        let horizon = params.Params.horizon in
+        let rng = Random.State.make [| 2025 |] in
+        let total = ref 0 and clean = ref 0 in
+        let per_round = Array.make (horizon + 1) 0 in
+        let single = ref 0 in
+        let rank = Array.make (params.Params.n - 1) 0 in
+        for _ = 1 to 8000 do
+          let p = U.random_pattern rng params in
+          (* [faulty], not [num_failures]: the latter deliberately excludes
+             clean crashes, which are half the point of this pin *)
+          if B.cardinal (Pat.faulty p) = 1 then begin
+            incr total;
+            let proc = Option.get (B.choose (Pat.faulty p)) in
+            let rest =
+              List.filter (fun j -> j <> proc) (List.init params.Params.n Fun.id)
+            in
+            let missed k =
+              List.filter
+                (fun j -> not (Pat.delivers p ~round:k ~sender:proc ~receiver:j))
+                rest
+            in
+            let rec first_miss k =
+              if k > horizon then None
+              else match missed k with [] -> first_miss (k + 1) | l -> Some (k, l)
+            in
+            match first_miss 1 with
+            | None -> incr clean
+            | Some (r, l) ->
+                per_round.(r) <- per_round.(r) + 1;
+                if List.length l = 1 then begin
+                  incr single;
+                  let v = List.hd l in
+                  let rk = List.length (List.filter (fun j -> j < v) rest) in
+                  rank.(rk) <- rank.(rk) + 1
+                end
+          end
+        done;
+        let share x = float_of_int x /. float_of_int !total in
+        check "enough single-failure samples" true (!total > 3000);
+        check "clean weight ~ 1/(T+1)" true (abs_float (share !clean -. 0.25) < 0.05);
+        for r = 1 to horizon do
+          check
+            (Printf.sprintf "round %d weight ~ 1/(T+1)" r)
+            true
+            (abs_float (share per_round.(r) -. 0.25) < 0.05)
+        done;
+        check "enough single-miss samples" true (!single > 500);
+        Array.iteri
+          (fun i c ->
+            let s = float_of_int c /. float_of_int !single in
+            check
+              (Printf.sprintf "missed-recipient rank %d ~ uniform" i)
+              true
+              (s > 0.20 && s < 0.45))
+          rank);
+  ]
+
+let suite =
+  ( "sim",
+    value_tests @ config_tests @ pattern_tests @ universe_tests @ overflow_tests
+    @ sampling_tests )
