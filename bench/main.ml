@@ -170,7 +170,7 @@ let net_tests =
   let replay_pattern = Eba.Universe.random_pattern rng crash_params in
   let replay_config = Eba.Config.of_bits ~n:3 0b101 in
   Test.make_grouped ~name:"net"
-    [
+    ([
       Test.make ~name:"netsim replay crash n=3 t=1 T=3 (FloodSet)"
         (Staged.stage (fun () ->
              ignore (S.replay crash_params replay_pattern replay_config)));
@@ -189,6 +189,33 @@ let net_tests =
                   ~n:64 ~t:8 ~mode:Eba.Params.Crash ~loss:0.05 ~seed:1 ~runs:1
                   ())));
     ]
+    @
+    (* full vs bounded-bandwidth at the wide scale: same sweep identity,
+       the timing difference is the cost/saving of delta encoding *)
+    (if !smoke then []
+     else
+       [
+         Test.make ~name:"netsim sweep P0opt n=128 t=16 loss=0.05 x1"
+           (Staged.stage (fun () ->
+                let params =
+                  Eba.Params.make ~n:128 ~t:16 ~horizon:17 ~mode:Eba.Params.Crash
+                in
+                ignore
+                  (net_sweep
+                     (Eba.P0opt.for_params params)
+                     ~n:128 ~t:16 ~mode:Eba.Params.Crash ~loss:0.05 ~seed:1
+                     ~runs:1 ())));
+         Test.make ~name:"netsim sweep P0opt-delta n=128 t=16 loss=0.05 x1"
+           (Staged.stage (fun () ->
+                let params =
+                  Eba.Params.make ~n:128 ~t:16 ~horizon:17 ~mode:Eba.Params.Crash
+                in
+                ignore
+                  (net_sweep
+                     (Eba.P0opt_delta.for_params params)
+                     ~n:128 ~t:16 ~mode:Eba.Params.Crash ~loss:0.05 ~seed:1
+                     ~runs:1 ())));
+       ]))
 
 (* --- builder scaling: naive vs shared at scales where sharing bites --- *)
 
@@ -402,18 +429,34 @@ let net_rows () =
           (Eba.Net.Netsim.sweep (selector params) params ~sync ~topology ~dynamic
              ~seed ~runs)
       in
+      (* each full-information row is paired with its bounded-bandwidth
+         variant at the SAME seed/runs/adversary: the sweeps replay the
+         same schedule, so CI can assert identical decisions and strictly
+         fewer data bytes as exact integer comparisons *)
       [
         wrow Eba.P0opt.for_params ~n:128 ~t:16 ~mode:Eba.Params.Crash ~loss:0.05
           ~seed:5128 ~runs:5;
+        wrow Eba.P0opt_delta.for_params ~n:128 ~t:16 ~mode:Eba.Params.Crash
+          ~loss:0.05 ~seed:5128 ~runs:5;
         wrow Eba.P0opt_plus.for_params ~n:128 ~t:16 ~mode:Eba.Params.Crash
+          ~loss:0.05 ~seed:5129 ~runs:5;
+        wrow Eba.P0opt_plus_delta.for_params ~n:128 ~t:16 ~mode:Eba.Params.Crash
           ~loss:0.05 ~seed:5129 ~runs:5;
         wrow Eba.Chain0.for_params ~n:128 ~t:16 ~mode:Eba.Params.Omission
           ~loss:0.05 ~seed:5130 ~runs:5;
+        wrow Eba.Chain0_cert.for_params ~n:128 ~t:16 ~mode:Eba.Params.Omission
+          ~loss:0.05 ~seed:5130 ~runs:5;
         wrow Eba.P0opt.for_params ~n:256 ~t:16 ~mode:Eba.Params.Crash ~loss:0.05
           ~seed:5256 ~runs:5;
+        wrow Eba.P0opt_delta.for_params ~n:256 ~t:16 ~mode:Eba.Params.Crash
+          ~loss:0.05 ~seed:5256 ~runs:5;
         wrow Eba.P0opt_plus.for_params ~n:256 ~t:16 ~mode:Eba.Params.Crash
           ~loss:0.05 ~seed:5257 ~runs:3;
+        wrow Eba.P0opt_plus_delta.for_params ~n:256 ~t:16 ~mode:Eba.Params.Crash
+          ~loss:0.05 ~seed:5257 ~runs:3;
         wrow Eba.Chain0.for_params ~n:256 ~t:16 ~mode:Eba.Params.Omission
+          ~loss:0.05 ~seed:5258 ~runs:3;
+        wrow Eba.Chain0_cert.for_params ~n:256 ~t:16 ~mode:Eba.Params.Omission
           ~loss:0.05 ~seed:5258 ~runs:3;
       ]
   in
@@ -428,28 +471,16 @@ let net_rows () =
   @ wide_rows
 
 (* Sampled lockstep sweeps, recorded with their full regeneration identity
-   (seed, sample count, universe) via [Stats.source_json]. *)
-let sampled_summary_json (s : Eba.Stats.summary) =
-  Eba.Json.Obj
-    [
-      ("protocol", Eba.Json.String s.Eba.Stats.protocol);
-      ("runs", Eba.Json.Int s.Eba.Stats.runs);
-      ("agreement_violations", Eba.Json.Int s.Eba.Stats.agreement_violations);
-      ("validity_violations", Eba.Json.Int s.Eba.Stats.validity_violations);
-      ("undecided_nonfaulty", Eba.Json.Int s.Eba.Stats.undecided_nonfaulty);
-      ("max_time", Eba.Json.Int s.Eba.Stats.max_time);
-      ("messages_attempted", Eba.Json.Int s.Eba.Stats.messages_attempted);
-      ("messages_delivered", Eba.Json.Int s.Eba.Stats.messages_delivered);
-      ("source", Eba.Stats.source_json s.Eba.Stats.source);
-    ]
-
+   (seed, sample count, universe) via the library's [Stats.summary_json] —
+   the superset of the fields this file used to assemble by hand, now
+   including the per-failure-count breakdown and exact byte totals. *)
 let sampled_rows () =
   let samples = if !smoke then 50 else 500 in
   let om8 = Eba.Params.make ~n:8 ~t:2 ~horizon:3 ~mode:Eba.Params.Omission in
   [
-    sampled_summary_json
+    Eba.Stats.summary_json
       (Eba.Stats.sampled (module Eba.P0opt) crash4_params ~seed:11 ~samples);
-    sampled_summary_json
+    Eba.Stats.summary_json
       (Eba.Stats.sampled (module Eba.Floodset) om8 ~seed:12 ~samples);
   ]
 

@@ -4,6 +4,8 @@
 
 open Cmdliner
 
+let ( let* ) = Result.bind
+
 (* --- shared arguments --- *)
 
 let n_arg =
@@ -246,6 +248,16 @@ let netsim_cmd =
       ("chain0", Eba.Chain0.for_params);
     ]
   in
+  (* The bounded-bandwidth variant of each protocol that has one: same
+     decisions at every processor and round, strictly fewer bytes. *)
+  let compact_protocols :
+      (string * (Eba.Params.t -> (module Eba.Protocol_intf.PROTOCOL))) list =
+    [
+      ("p0opt", Eba.P0opt_delta.for_params);
+      ("p0opt+", Eba.P0opt_plus_delta.for_params);
+      ("chain0", Eba.Chain0_cert.for_params);
+    ]
+  in
   let protocol_arg =
     let names = List.map (fun (name, _) -> (name, name)) protocols in
     Arg.(
@@ -339,10 +351,29 @@ let netsim_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the summary as an eba-bench style JSON object.")
   in
-  let run params name latency loss seed runs rto window retries omit_prob
-      partitions span json =
-    let (module P : Eba.Protocol_intf.PROTOCOL) =
-      (List.assoc name protocols) params
+  let compact_arg =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Use the bounded-bandwidth variant of the protocol (p0opt, \
+             p0opt+ and chain0 only): identical decisions, fewer bytes on \
+             the wire.")
+  in
+  let run params name compact latency loss seed runs rto window retries
+      omit_prob partitions span json =
+    let* (module P : Eba.Protocol_intf.PROTOCOL) =
+      if not compact then Ok ((List.assoc name protocols) params)
+      else
+        match List.assoc_opt name compact_protocols with
+        | Some select -> Ok (select params)
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "--compact: no bounded-bandwidth variant of %s (have: %s)"
+                    name
+                    (String.concat ", " (List.map fst compact_protocols))))
     in
     let topology =
       Net.Topology.make ~n:params.Eba.Params.n
@@ -379,8 +410,8 @@ let netsim_cmd =
           under the timeout-and-retransmission round synchronizer.")
     Term.(
       term_result
-        (const run $ params_term $ protocol_arg $ latency_arg $ loss_arg
-        $ seed_arg $ runs_arg $ rto_arg $ window_arg $ retries_arg
+        (const run $ params_term $ protocol_arg $ compact_arg $ latency_arg
+        $ loss_arg $ seed_arg $ runs_arg $ rto_arg $ window_arg $ retries_arg
         $ omit_prob_arg $ partitions_arg $ span_arg $ json_arg))
 
 let () =

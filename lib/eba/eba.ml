@@ -70,6 +70,12 @@ module Chain0 = Eba_protocols.Chain0
 module Fip_op = Eba_protocols.Fip_op
 module Stats = Eba_protocols.Stats
 
+(* bounded-bandwidth (compact-message) variants: identical decisions,
+   strictly fewer bytes on the wire *)
+module P0opt_delta = Eba_protocols.P0opt_delta
+module P0opt_plus_delta = Eba_protocols.P0opt_plus_delta
+module Chain0_cert = Eba_protocols.Chain0_cert
+
 (* network simulation *)
 module Net = Eba_net
 (** Discrete-event network simulator: {!Eba_net.Event_queue},

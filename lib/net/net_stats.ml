@@ -14,6 +14,9 @@ type wire = {
   mutable w_late : int;
   mutable w_duplicates : int;
   mutable w_to_dead : int;
+  mutable w_data_bytes : int;
+  mutable w_ack_bytes : int;
+  mutable w_delivered_bytes : int;
   mutable w_latency_ns_sum : int;
   mutable w_latency_ns_max : int;
   w_latency_hist : int array;
@@ -30,6 +33,9 @@ let fresh_wire () =
     w_late = 0;
     w_duplicates = 0;
     w_to_dead = 0;
+    w_data_bytes = 0;
+    w_ack_bytes = 0;
+    w_delivered_bytes = 0;
     w_latency_ns_sum = 0;
     w_latency_ns_max = 0;
     w_latency_hist = Array.make hist_buckets 0;
@@ -45,6 +51,9 @@ let wire_merge into from =
   into.w_late <- into.w_late + from.w_late;
   into.w_duplicates <- into.w_duplicates + from.w_duplicates;
   into.w_to_dead <- into.w_to_dead + from.w_to_dead;
+  into.w_data_bytes <- into.w_data_bytes + from.w_data_bytes;
+  into.w_ack_bytes <- into.w_ack_bytes + from.w_ack_bytes;
+  into.w_delivered_bytes <- into.w_delivered_bytes + from.w_delivered_bytes;
   into.w_latency_ns_sum <- into.w_latency_ns_sum + from.w_latency_ns_sum;
   into.w_latency_ns_max <- max into.w_latency_ns_max from.w_latency_ns_max;
   Array.iteri
@@ -178,13 +187,16 @@ let summary_of_state ~protocol ~params ~seed ~plan ~topology ~sync st =
     ns_undecided_nonfaulty = st.s_undecided;
     ns_decided_nonfaulty = st.s_decided;
     ns_decision_round_sum = st.s_round_sum;
+    (* empty-mean convention (see {!Eba_protocols.Stats}): 0.0 when no
+       nonfaulty processor decided, so the summary and its JSON stay
+       finite on all-undecided sweeps *)
     ns_mean_decision_round =
-      (if st.s_decided = 0 then Float.nan
+      (if st.s_decided = 0 then 0.0
        else float_of_int st.s_round_sum /. float_of_int st.s_decided);
     ns_max_decision_round = st.s_round_max;
     ns_decision_ns_sum = st.s_sim_ns_sum;
     ns_mean_decision_ns =
-      (if st.s_decided = 0 then Float.nan
+      (if st.s_decided = 0 then 0.0
        else float_of_int st.s_sim_ns_sum /. float_of_int st.s_decided);
     ns_max_decision_ns = st.s_sim_ns_max;
     ns_attempted = st.s_attempted;
@@ -205,6 +217,7 @@ let pp fmt s =
     \  protocol msgs: %d/%d delivered/attempted@\n\
     \  wire: %d copies (%d retransmissions), %d acks; dropped %d fault / %d \
      loss / %d cut; %d late, %d duplicates, %d to-dead@\n\
+    \  bytes: %d data + %d acks on the wire, %d delivered fresh@\n\
     \  copy latency: mean %.3g s, max %.3g s"
     s.ns_protocol s.ns_runs s.ns_params s.ns_seed s.ns_plan s.ns_topology
     s.ns_sync s.ns_agreement_violations s.ns_validity_violations
@@ -214,9 +227,9 @@ let pp fmt s =
     (float_of_int s.ns_max_decision_ns /. 1e9)
     s.ns_delivered s.ns_attempted w.w_copies w.w_retransmissions w.w_acks
     w.w_dropped_fault w.w_dropped_loss w.w_dropped_cut w.w_late w.w_duplicates
-    w.w_to_dead
+    w.w_to_dead w.w_data_bytes w.w_ack_bytes w.w_delivered_bytes
     (let flights = w.w_copies - w.w_dropped_fault - w.w_dropped_loss - w.w_dropped_cut in
-     if flights = 0 then Float.nan
+     if flights = 0 then 0.0
      else float_of_int w.w_latency_ns_sum /. float_of_int flights /. 1e9)
     (float_of_int w.w_latency_ns_max /. 1e9)
 
@@ -251,6 +264,9 @@ let summary_json s =
       ("late", Json.Int w.w_late);
       ("duplicates", Json.Int w.w_duplicates);
       ("to_dead", Json.Int w.w_to_dead);
+      ("data_bytes", Json.Int w.w_data_bytes);
+      ("ack_bytes", Json.Int w.w_ack_bytes);
+      ("delivered_bytes", Json.Int w.w_delivered_bytes);
       ("latency_ns_sum", Json.Int w.w_latency_ns_sum);
       ("latency_ns_max", Json.Int w.w_latency_ns_max);
       ("latency_hist", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) w.w_latency_hist)));

@@ -29,6 +29,13 @@ type wire = {
   mutable w_late : int;  (** data copies arriving after their round closed *)
   mutable w_duplicates : int;  (** redelivery of an already-received message *)
   mutable w_to_dead : int;  (** copies arriving at a crashed node *)
+  mutable w_data_bytes : int;
+      (** exact {!Eba_protocols.Protocol_intf.PROTOCOL.wire_size} total of
+          every data copy put on the wire, retransmits included — dropped
+          copies count (they were transmitted), like {!w_copies} *)
+  mutable w_ack_bytes : int;  (** ... of every acknowledgement copy *)
+  mutable w_delivered_bytes : int;
+      (** ... of the fresh deliveries only (duplicates and late excluded) *)
   mutable w_latency_ns_sum : int;  (** over in-flight data copies *)
   mutable w_latency_ns_max : int;
   w_latency_hist : int array;  (** length {!hist_buckets} *)
@@ -71,9 +78,10 @@ type summary = {
   ns_decided_nonfaulty : int;
   ns_decision_round_sum : int;  (** exact, for bit-identical comparisons *)
   ns_mean_decision_round : float;
+      (** empty-mean convention: [0.0] when nothing decided, never NaN *)
   ns_max_decision_round : int;
   ns_decision_ns_sum : int;
-  ns_mean_decision_ns : float;
+  ns_mean_decision_ns : float;  (** same convention *)
   ns_max_decision_ns : int;
   ns_attempted : int;
   ns_delivered : int;

@@ -12,6 +12,7 @@ let m_retrans = Metrics.counter "net.retransmissions"
 let m_acks = Metrics.counter "net.acks_sent"
 let m_delivered = Metrics.counter "net.messages_delivered"
 let m_dropped = Metrics.counter "net.copies_dropped"
+let m_bytes = Metrics.counter "net.data_bytes"
 
 let lossless_topology ~n =
   Topology.make ~n ~link:(Link.make ~latency:(Link.Const 1.0) ~loss:0.0)
@@ -37,10 +38,23 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
   type event =
     | Boundary of int
         (* time k·D: close round k (k >= 1), then open round k+1 (k < horizon) *)
-    | Deliver of { d_round : int; d_sender : int; d_dest : int; d_msg : P.msg }
+    | Deliver of {
+        d_round : int;
+        d_sender : int;
+        d_dest : int;
+        d_bytes : int;  (* wire size, computed once at first transmit *)
+        d_msg : P.msg;
+      }
     | Ack of { a_round : int; a_from : int; a_to : int }
         (* a_from acknowledged a_to's round message *)
-    | Timer of { t_round : int; t_sender : int; t_dest : int; t_copy : int; t_msg : P.msg }
+    | Timer of {
+        t_round : int;
+        t_sender : int;
+        t_dest : int;
+        t_copy : int;
+        t_bytes : int;  (* retransmits reuse the original size, no re-measuring *)
+        t_msg : P.msg;
+      }
 
   let run_one (params : Params.t) ~(sync : Sync.t) ~topology ~plan ~rng config =
     Sync.check sync topology;
@@ -58,9 +72,11 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
     for k = 0 to horizon do
       Event_queue.push q ~time:(float_of_int k *. d) (Boundary k)
     done;
-    (* Put one copy of a data message on the wire. *)
-    let transmit ~now ~round ~sender ~dest ~copy msg =
+    (* Put one copy of a data message on the wire.  Bytes are charged here,
+       before any drop decision: a lost copy was still transmitted. *)
+    let transmit ~now ~round ~sender ~dest ~copy ~bytes msg =
       wire.Net_stats.w_copies <- wire.Net_stats.w_copies + 1;
+      wire.Net_stats.w_data_bytes <- wire.Net_stats.w_data_bytes + bytes;
       if copy > 0 then
         wire.Net_stats.w_retransmissions <- wire.Net_stats.w_retransmissions + 1;
       if Inject.blocks_send inj rng ~round ~sender ~receiver:dest then
@@ -84,7 +100,14 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
           wire.Net_stats.w_latency_hist.(bucket) <-
             wire.Net_stats.w_latency_hist.(bucket) + 1;
           Event_queue.push q ~time:(now +. l)
-            (Deliver { d_round = round; d_sender = sender; d_dest = dest; d_msg = msg })
+            (Deliver
+               {
+                 d_round = round;
+                 d_sender = sender;
+                 d_dest = dest;
+                 d_bytes = bytes;
+                 d_msg = msg;
+               })
         end
     in
     (* Acknowledgement copies ride the reverse link: same loss, same
@@ -92,6 +115,9 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
        replayed pattern, which only speaks about protocol messages. *)
     let send_ack ~now ~round ~from ~to_ =
       wire.Net_stats.w_acks <- wire.Net_stats.w_acks + 1;
+      (* an acknowledgement is a bare header: tag + round stamp *)
+      wire.Net_stats.w_ack_bytes <-
+        wire.Net_stats.w_ack_bytes + Eba_protocols.Protocol_intf.Wire.header;
       if Inject.cut inj ~now ~src:from ~dst:to_ then
         wire.Net_stats.w_dropped_cut <- wire.Net_stats.w_dropped_cut + 1
       else
@@ -118,13 +144,26 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
             let i = N.me node in
             if not (Inject.dead inj ~now ~proc:i) then begin
               let out = N.start_round params node ~round in
+              (* the full protocols share one message snapshot across all
+                 destinations — size it once (physical equality) rather
+                 than per destination *)
+              let sized = ref None in
+              let size_of msg =
+                match !sized with
+                | Some (m, b) when m == msg -> b
+                | _ ->
+                    let b = P.wire_size params msg in
+                    sized := Some (msg, b);
+                    b
+              in
               for dest = 0 to n - 1 do
                 if dest <> i then
                   match out.(dest) with
                   | None -> ()
                   | Some msg ->
                       incr attempted;
-                      transmit ~now ~round ~sender:i ~dest ~copy:0 msg;
+                      let bytes = size_of msg in
+                      transmit ~now ~round ~sender:i ~dest ~copy:0 ~bytes msg;
                       if sync.Sync.max_retries > 0 && now +. sync.Sync.rto < round_end
                       then
                         Event_queue.push q ~time:(now +. sync.Sync.rto)
@@ -134,6 +173,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
                                t_sender = i;
                                t_dest = dest;
                                t_copy = 1;
+                               t_bytes = bytes;
                                t_msg = msg;
                              })
               done
@@ -149,13 +189,18 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
           incr events;
           (match ev with
           | Boundary k -> boundary ~now k
-          | Deliver { d_round; d_sender; d_dest; d_msg } ->
+          | Deliver { d_round; d_sender; d_dest; d_bytes; d_msg } ->
               if Inject.dead inj ~now ~proc:d_dest then
                 wire.Net_stats.w_to_dead <- wire.Net_stats.w_to_dead + 1
               else (
-                match N.accept nodes.(d_dest) ~round:d_round ~sender:d_sender d_msg with
+                match
+                  N.accept nodes.(d_dest) ~round:d_round ~sender:d_sender
+                    ~bytes:d_bytes d_msg
+                with
                 | `Fresh ->
                     incr delivered;
+                    wire.Net_stats.w_delivered_bytes <-
+                      wire.Net_stats.w_delivered_bytes + d_bytes;
                     send_ack ~now ~round:d_round ~from:d_dest ~to_:d_sender
                 | `Duplicate ->
                     (* the ack was lost or raced a retransmission: re-ack
@@ -165,7 +210,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
                 | `Late -> wire.Net_stats.w_late <- wire.Net_stats.w_late + 1)
           | Ack { a_round; a_from; a_to } ->
               N.ack nodes.(a_to) ~round:a_round ~dest:a_from
-          | Timer { t_round; t_sender; t_dest; t_copy; t_msg } ->
+          | Timer { t_round; t_sender; t_dest; t_copy; t_bytes; t_msg } ->
               let node = nodes.(t_sender) in
               if
                 (not (Inject.dead inj ~now ~proc:t_sender))
@@ -173,7 +218,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
                 && not (N.acked node ~dest:t_dest)
               then begin
                 transmit ~now ~round:t_round ~sender:t_sender ~dest:t_dest
-                  ~copy:t_copy t_msg;
+                  ~copy:t_copy ~bytes:t_bytes t_msg;
                 if
                   t_copy < sync.Sync.max_retries
                   && now +. sync.Sync.rto < Sync.round_end sync ~round:t_round
@@ -185,6 +230,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
                          t_sender;
                          t_dest;
                          t_copy = t_copy + 1;
+                         t_bytes;
                          t_msg;
                        })
               end);
@@ -198,6 +244,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
       Metrics.add m_retrans wire.Net_stats.w_retransmissions;
       Metrics.add m_acks wire.Net_stats.w_acks;
       Metrics.add m_delivered !delivered;
+      Metrics.add m_bytes wire.Net_stats.w_data_bytes;
       Metrics.add m_dropped
         (wire.Net_stats.w_dropped_fault + wire.Net_stats.w_dropped_loss
        + wire.Net_stats.w_dropped_cut)

@@ -11,6 +11,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
     mutable nd_inbox : P.msg option array;
     mutable nd_got : bool array;
     mutable nd_acked : bool array;
+    mutable nd_bytes_in : int;  (* wire bytes of fresh-accepted copies *)
     mutable nd_decision : Runner.decision option;
     mutable nd_decision_sim : float option;
   }
@@ -36,6 +37,7 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
         nd_inbox = Array.make n None;
         nd_got = Array.make n false;
         nd_acked = Array.make n false;
+        nd_bytes_in = 0;
         nd_decision = None;
         nd_decision_sim = None;
       }
@@ -59,17 +61,19 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
       invalid_arg "Node: send must return one slot per destination";
     out
 
-  let accept node ~round ~sender msg =
+  let accept node ~round ~sender ~bytes msg =
     if round <> node.nd_round || node.nd_closed then `Late
     else if node.nd_got.(sender) then `Duplicate
     else begin
       node.nd_got.(sender) <- true;
       node.nd_inbox.(sender) <- Some msg;
+      node.nd_bytes_in <- node.nd_bytes_in + bytes;
       `Fresh
     end
 
   let ack node ~round ~dest = if round = node.nd_round then node.nd_acked.(dest) <- true
   let acked node ~dest = node.nd_acked.(dest)
+  let bytes_in node = node.nd_bytes_in
 
   let finish_round params node ~sim_time =
     node.nd_closed <- true;

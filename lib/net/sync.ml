@@ -24,7 +24,21 @@ let check t topology =
          bound t.round_duration)
 
 let attempts t =
-  1 + min t.max_retries (int_of_float (t.round_duration /. t.rto))
+  (* Retransmission [i] fires at [round_start + i * rto], and the event
+     loop schedules it only strictly inside the window ([fire < round_end]
+     — a copy launched exactly at the close would be dead on arrival, its
+     round already over).  Count with the same strict predicate instead of
+     truncating [round_duration /. rto]: when the window is an exact
+     multiple [k *. rto] of the timeout, truncation admits the phantom
+     attempt at the boundary and over-reports by one. *)
+  let retries = ref 0 in
+  while
+    !retries < t.max_retries
+    && float_of_int (!retries + 1) *. t.rto < t.round_duration
+  do
+    incr retries
+  done;
+  1 + !retries
 
 let round_start t ~round = float_of_int (round - 1) *. t.round_duration
 let round_end t ~round = float_of_int round *. t.round_duration

@@ -36,8 +36,13 @@ val check : t -> Topology.t -> unit
     strictly below [round_duration]. *)
 
 val attempts : t -> int
-(** Maximum transmissions per message: retries capped by how many RTOs fit
-    in the round window, plus the initial copy. *)
+(** Maximum transmissions per message: the initial copy plus every retry
+    the budget and the window admit.  Retry [i] fires at
+    [round_start + i * rto] and counts only if that instant is {e strictly}
+    before the window's close — a copy launched exactly at [round_end]
+    would be dead on arrival, so when [round_duration = k *. rto] the
+    boundary retry is excluded (the same [< round_end] cutoff the event
+    loop uses to schedule timers). *)
 
 val round_start : t -> round:int -> float
 val round_end : t -> round:int -> float

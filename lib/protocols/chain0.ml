@@ -91,6 +91,10 @@ module Make (S : Eba_util.Procset.S) = struct
     { st with chain; suspected = suspected'; decided; time = round }
 
   let output st = st.decided
+
+  (* flag byte + the suspicion set as a dense bitmap *)
+  let wire_size (params : Params.t) (_ : msg) =
+    Protocol_intf.Wire.(header + 1 + set_bytes params.Params.n)
 end
 
 module Word = Make (Eba_util.Procset.Word)

@@ -1,0 +1,29 @@
+(** [Chain0-cert]: the bounded-bandwidth variant of {!Chain0}.
+
+    Same chain flag and suspicion-set evolution, but each destination
+    receives a {e certificate} — the suspicions it is not yet proven to
+    hold (confirm-or-resend with a one-round echo of fresh convictions)
+    — instead of the whole suspicion set, under a round-stamped header
+    that keeps the receiving union idempotent.
+
+    Decisions are identical to {!Chain0} in value and round on every run
+    (checked exhaustively by the differential suite); only
+    {!Protocol_intf.PROTOCOL.wire_size} differs — certificates empty out
+    exactly as the run approaches the full protocol's no-news round, and
+    never exceed the dense suspicion bitmap. *)
+
+module Make (S : Eba_util.Procset.S) : Protocol_intf.PROTOCOL
+(** The protocol over an arbitrary processor-set representation; all
+    instances decide identically and send bit-identical messages. *)
+
+module Word : Protocol_intf.PROTOCOL
+(** [Make (Procset.Word)]: single-word sets, [n <= 62]. *)
+
+module Wide : Protocol_intf.PROTOCOL
+(** [Make (Procset.Wide)]: limb-array sets, any [n]. *)
+
+include Protocol_intf.PROTOCOL
+(** An alias of {!Word}, mirroring the full protocols' convention. *)
+
+val for_params : Eba_sim.Params.t -> (module Protocol_intf.PROTOCOL)
+(** {!Word} when [n] fits a single word, {!Wide} beyond. *)

@@ -30,4 +30,12 @@ end) : Protocol_intf.PROTOCOL = struct
     else if in_zero then Some Value.Zero
     else if in_one then Some Value.One
     else None
+
+  (* What travels here is a hash-consed view id into the shared arena, not
+     a serialization of the view: header + an 8-byte store reference.  A
+     real full-information wire format would grow exponentially with the
+     round; this protocol exists for cross-layer differential testing, so
+     its byte count is the (honest) cost of the reference, documented as
+     such rather than a fiction of serializing the tree. *)
+  let wire_size _params (_ : msg) = Protocol_intf.Wire.header + 8
 end

@@ -53,3 +53,6 @@ let output st =
   if st.time >= st.deadline then
     Some (if st.saw_zero then Value.Zero else Value.One)
   else None
+
+(* the two seen-value bits share one payload byte *)
+let wire_size _params (_ : msg) = Protocol_intf.Wire.header + 1

@@ -1,0 +1,89 @@
+(** The per-processor row table shared by [P0opt+] and its compact-message
+    variant [P0opt+delta]: for every processor [x] whose initial value has
+    reached me, the row [(v_x, heard_x(1), ..., heard_x(k))] — everything a
+    full-information view contains in the crash mode, in [O(n² T)] bits.
+
+    The two protocols differ only in how rows travel (whole tables vs
+    row-extension deltas); the decision rules operate on the table alone,
+    so they live here and the equivalence of the two variants reduces to
+    "the tables are equal at every step" (which the differential suite
+    checks exhaustively).
+
+    Rows are immutable once shared: every mutation copies first
+    ({!Make.copy_row}), so a row can flow through messages by reference. *)
+
+module Value = Eba_sim.Value
+
+module Make (S : Eba_util.Procset.S) = struct
+  type row = {
+    r_value : Value.t;
+    r_heard : S.t array;  (* r_heard.(k-1) = senders heard in round k *)
+    r_upto : int;  (* rounds covered: r_heard.(0 .. r_upto - 1) are valid *)
+  }
+
+  let copy_row r = { r with r_heard = Array.copy r.r_heard }
+
+  let merge_row mine theirs =
+    match (mine, theirs) with
+    | None, r | r, None -> r
+    | Some a, Some b -> Some (if a.r_upto >= b.r_upto then a else b)
+
+  let knows_zero table =
+    Array.exists
+      (function Some r -> Value.equal r.r_value Value.Zero | None -> false)
+      table
+
+  (* first round at which x is provably crashed: some known heard-set misses
+     a message from x *)
+  let crash_evidence table x =
+    let best = ref None in
+    Array.iteri
+      (fun a row ->
+        match row with
+        | None -> ()
+        | Some r ->
+            if a <> x then
+              for k = 1 to r.r_upto do
+                if not (S.mem x r.r_heard.(k - 1)) then
+                  match !best with
+                  | Some b when b <= k -> ()
+                  | Some _ | None -> best := Some k
+              done)
+      table;
+    !best
+
+  let upto table x = match table.(x) with None -> -1 | Some r -> r.r_upto
+
+  let known_not_delivered table ~sender ~receiver ~round =
+    match table.(receiver) with
+    | Some r when round <= r.r_upto -> not (S.mem sender r.r_heard.(round - 1))
+    | Some _ | None -> false
+
+  (* Decide 1 at [time] when nobody can possibly know a 0 and be nonfaulty:
+     the possibly-knows-0 fixpoint of the P0opt+ documentation, computed
+     from the table alone. *)
+  let safe_to_decide_one ~time table =
+    let n = Array.length table in
+    let evidence = Array.init n (fun x -> crash_evidence table x) in
+    let k_now = Array.init n (fun x -> table.(x) = None) in
+    let k_now = ref k_now in
+    for k = 1 to time do
+      let next =
+        Array.init n (fun x ->
+            upto table x < k
+            && ((!k_now).(x)
+               ||
+               let feeds b =
+                 (!k_now).(b)
+                 && (not (known_not_delivered table ~sender:b ~receiver:x ~round:k))
+                 && match evidence.(b) with Some kb -> kb >= k | None -> true
+               in
+               let rec any b = b < n && ((b <> x && feeds b) || any (b + 1)) in
+               any 0))
+      in
+      k_now := next
+    done;
+    let threat x = (!k_now).(x) && evidence.(x) = None in
+    let rec any x = x < n && (threat x || any (x + 1)) in
+    not (any 0)
+end

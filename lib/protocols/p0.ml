@@ -54,6 +54,9 @@ end) : Protocol_intf.PROTOCOL = struct
     if st.knows_target then Some Target.target
     else if st.time >= st.deadline then Some (Value.negate Target.target)
     else None
+
+  (* the token carries no payload: the header's tag byte says it all *)
+  let wire_size _params Token = Protocol_intf.Wire.header
 end
 
 module P0 = Make (struct

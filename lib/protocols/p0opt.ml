@@ -96,6 +96,10 @@ module Make (S : Eba_util.Procset.S) = struct
     { st with decided = decide st }
 
   let output st = st.decided
+
+  (* full variant: the whole vector rides as a dense trit array *)
+  let wire_size (params : Params.t) (_ : msg) =
+    Protocol_intf.Wire.(header + trit_vector params.Params.n)
 end
 
 module Word = Make (Eba_util.Procset.Word)

@@ -1,0 +1,181 @@
+(** [P0opt-delta]: the bounded-bandwidth variant of {!P0opt} — identical
+    decision rules over identical known-value vectors, but instead of
+    broadcasting the whole vector every round, a processor sends each
+    destination only the entries the destination is not yet known to hold.
+
+    Naive "entries that changed since last round" is {e not} equivalent to
+    the full protocol under failures: a faulty sender can deliver an entry
+    to some destinations and not others in the round it was new, and a
+    change-only delta would never offer it again.  The sound rule is
+    {e confirm-or-resend}:
+
+    - I keep, per destination [d], the set [confirmed.(d)] of slots I can
+      prove [d] knows — [d]'s own slot, plus every slot that arrived {e in
+      a message from [d]} (whatever [d] sent me, [d] knew);
+    - the round-[k] message to [d] carries the entries of
+      [known \ confirmed.(d)], plus a one-round {e fresh echo} of the
+      entries I learned in round [k-1] (so knowledge I gained from [d]
+      itself flows back as confirmation, and the deltas go quiet);
+    - entries are [(slot, value)] pairs under a round-stamped header, and
+      each slot holds at most one value per run, so merging arrived entries
+      into the vector is idempotent: late, reordered or retransmitted
+      copies within a round land in the same state.
+
+    Induction over rounds shows every processor's [known] vector (and
+    heard-from sets — message {e presence} is identical: both variants send
+    to everyone, every round) equals the full variant's in every run, so
+    decisions match in value and time everywhere; the test suite checks
+    this point-for-point over exhaustive crash and omission universes and
+    differentially at the wide netsim scales.  Only the wire size differs:
+    deltas are empty from round 3 of a failure-free run, where the full
+    vector keeps riding in full. *)
+
+module Params = Eba_sim.Params
+module Value = Eba_sim.Value
+
+module type COMPACT = sig
+  include Protocol_intf.PROTOCOL
+
+  (** Test hooks: enough constructor/observer surface to drive [receive]
+      with hand-built deltas and check reconstruction (the qcheck merge
+      property), without exposing the state representation. *)
+
+  val known : state -> Value.t option array
+  (** A copy of the known-value vector. *)
+
+  val message : round:int -> (int * Value.t) list -> msg
+  (** A delta carrying exactly these entries. *)
+
+  val entries : msg -> (int * Value.t) list
+  (** The entries of a delta, in slot order. *)
+end
+
+module Make (S : Eba_util.Procset.S) = struct
+  type msg = { d_round : int; d_entries : (int * Value.t) array }
+
+  type state = {
+    me : int;
+    n : int;
+    known : Value.t option array;
+    confirmed : S.t array;  (* per destination: slots provably known there *)
+    fresh : S.t;  (* slots learned in the previous round's receive *)
+    heard_last : S.t option;
+    heard_prev : S.t option;
+    time : int;
+    decided : Value.t option;
+  }
+
+  let name = "P0opt-delta"
+
+  (* decision rules: verbatim P0opt *)
+
+  let knows_zero st =
+    Array.exists (function Some v -> Value.equal v Value.Zero | None -> false) st.known
+
+  let knows_all_one st =
+    Array.for_all (function Some v -> Value.equal v Value.One | None -> false) st.known
+
+  let quiescent st =
+    match (st.heard_last, st.heard_prev) with
+    | Some a, Some b -> S.equal a b
+    | (Some _ | None), _ -> false
+
+  let decide st =
+    if st.decided <> None then st.decided
+    else if knows_zero st then Some Value.Zero
+    else if knows_all_one st || (st.time >= 2 && quiescent st) then Some Value.One
+    else None
+
+  let init (params : Params.t) ~me value =
+    let n = params.Params.n in
+    let known = Array.make n None in
+    known.(me) <- Some value;
+    let st =
+      {
+        me;
+        n;
+        known;
+        confirmed = Array.init n (fun d -> S.singleton d);
+        fresh = S.singleton me;
+        heard_last = None;
+        heard_prev = None;
+        time = 0;
+        decided = None;
+      }
+    in
+    { st with decided = decide st }
+
+  let send (params : Params.t) st ~round =
+    Array.init params.Params.n (fun d ->
+        if d = st.me then None
+        else begin
+          let entries = ref [] in
+          let conf = st.confirmed.(d) in
+          for p = st.n - 1 downto 0 do
+            if p <> d then
+              match st.known.(p) with
+              | Some v when (not (S.mem p conf)) || S.mem p st.fresh ->
+                  entries := (p, v) :: !entries
+              | Some _ | None -> ()
+          done;
+          Some { d_round = round; d_entries = Array.of_list !entries }
+        end)
+
+  let receive _params st ~round arrived =
+    let known = Array.copy st.known in
+    let confirmed = Array.copy st.confirmed in
+    let heard = ref S.empty in
+    let fresh = ref S.empty in
+    Array.iteri
+      (fun j m ->
+        match m with
+        | None -> ()
+        | Some { d_round = _; d_entries } ->
+            heard := S.add j !heard;
+            let cj = ref confirmed.(j) in
+            Array.iter
+              (fun (p, v) ->
+                if p >= 0 && p < Array.length known then begin
+                  (* whatever j sent me, j knew at send time *)
+                  cj := S.add p !cj;
+                  match known.(p) with
+                  | None ->
+                      known.(p) <- Some v;
+                      fresh := S.add p !fresh
+                  | Some _ -> ()  (* one value per slot per run: idempotent *)
+                end)
+              d_entries;
+            confirmed.(j) <- !cj)
+      arrived;
+    let st =
+      {
+        st with
+        known;
+        confirmed;
+        fresh = !fresh;
+        heard_prev = st.heard_last;
+        heard_last = Some !heard;
+        time = round;
+      }
+    in
+    { st with decided = decide st }
+
+  let output st = st.decided
+
+  (* a delta never costs more than the dense vector the full variant sends *)
+  let wire_size (params : Params.t) m =
+    let open Protocol_intf.Wire in
+    header + min (entry * Array.length m.d_entries) (trit_vector params.Params.n)
+
+  (* test hooks *)
+  let known st = Array.copy st.known
+  let message ~round entries = { d_round = round; d_entries = Array.of_list entries }
+  let entries m = Array.to_list m.d_entries
+end
+
+module Word = Make (Eba_util.Procset.Word)
+module Wide = Make (Eba_util.Procset.Wide)
+include Word
+
+let for_params (params : Params.t) : (module Protocol_intf.PROTOCOL) =
+  if params.Params.n <= Eba_util.Bitset.max_width then (module Word) else (module Wide)

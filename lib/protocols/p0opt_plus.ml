@@ -38,7 +38,9 @@ module Params = Eba_sim.Params
 module Value = Eba_sim.Value
 
 module Make (S : Eba_util.Procset.S) = struct
-  type row = {
+  module K = Known_rows.Make (S)
+
+  type row = K.row = {
     r_value : Value.t;
     r_heard : S.t array;  (* r_heard.(k-1) = senders heard in round k *)
     r_upto : int;  (* rounds covered: r_heard.(0 .. r_upto - 1) are valid *)
@@ -57,66 +59,10 @@ module Make (S : Eba_util.Procset.S) = struct
 
   let name = "P0opt+"
 
-  let knows_zero st =
-    Array.exists
-      (function Some r -> Value.equal r.r_value Value.Zero | None -> false)
-      st.table
-
-  (* first round at which x is provably crashed: some known heard-set misses
-     a message from x *)
-  let crash_evidence st x =
-    let best = ref None in
-    Array.iteri
-      (fun a row ->
-        match row with
-        | None -> ()
-        | Some r ->
-            if a <> x then
-              for k = 1 to r.r_upto do
-                if not (S.mem x r.r_heard.(k - 1)) then
-                  match !best with
-                  | Some b when b <= k -> ()
-                  | Some _ | None -> best := Some k
-              done)
-      st.table;
-    !best
-
-  let upto st x = match st.table.(x) with None -> -1 | Some r -> r.r_upto
-
-  let known_not_delivered st ~sender ~receiver ~round =
-    match st.table.(receiver) with
-    | Some r when round <= r.r_upto -> not (S.mem sender r.r_heard.(round - 1))
-    | Some _ | None -> false
-
-  let safe_to_decide_one st =
-    let n = st.n in
-    let evidence = Array.init n (fun x -> crash_evidence st x) in
-    let k_now = Array.init n (fun x -> st.table.(x) = None) in
-    let k_now = ref k_now in
-    for k = 1 to st.time do
-      let next =
-        Array.init n (fun x ->
-            upto st x < k
-            && ((!k_now).(x)
-               ||
-               let feeds b =
-                 (!k_now).(b)
-                 && (not (known_not_delivered st ~sender:b ~receiver:x ~round:k))
-                 && match evidence.(b) with Some kb -> kb >= k | None -> true
-               in
-               let rec any b = b < n && ((b <> x && feeds b) || any (b + 1)) in
-               any 0))
-      in
-      k_now := next
-    done;
-    let threat x = (!k_now).(x) && evidence.(x) = None in
-    let rec any x = x < st.n && (threat x || any (x + 1)) in
-    not (any 0)
-
   let decide st =
     if st.decided <> None then st.decided
-    else if knows_zero st then Some Value.Zero
-    else if safe_to_decide_one st then Some Value.One
+    else if K.knows_zero st.table then Some Value.Zero
+    else if K.safe_to_decide_one ~time:st.time st.table then Some Value.One
     else None
 
   let init (params : Params.t) ~me value =
@@ -135,19 +81,12 @@ module Make (S : Eba_util.Procset.S) = struct
     in
     { st with decided = decide st }
 
-  let copy_row r = { r with r_heard = Array.copy r.r_heard }
-
   let send (params : Params.t) st ~round:_ =
     (* Rows are copy-on-write (see [receive]), so the table itself is the
        snapshot: one reference shared with every destination instead of
        n - 1 deep copies of an O(n · horizon) structure. *)
     let snapshot : msg = st.table in
     Array.init params.Params.n (fun j -> if j = st.me then None else Some snapshot)
-
-  let merge_row mine theirs =
-    match (mine, theirs) with
-    | None, r | r, None -> r
-    | Some a, Some b -> Some (if a.r_upto >= b.r_upto then a else b)
 
   let receive _params st ~round arrived =
     let table = Array.map Fun.id st.table in
@@ -158,20 +97,38 @@ module Make (S : Eba_util.Procset.S) = struct
         | None -> ()
         | Some their_table ->
             heard := S.add j !heard;
-            Array.iteri (fun x r -> table.(x) <- merge_row table.(x) r) their_table)
+            Array.iteri (fun x r -> table.(x) <- K.merge_row table.(x) r) their_table)
       arrived;
-    (* extend my own row with this round's heard-set; the copy keeps every
-       row that escaped through [send] (or arrived from elsewhere) frozen *)
+    (* Extend my own row with this round's heard-set; the copy keeps every
+       row that escaped through [send] (or arrived from elsewhere) frozen.
+       My own row is present in every reachable state: [init] installs it
+       and [merge_row] never turns a [Some] into [None] — no wire input,
+       however corrupted, can delete a row, it can only fail to add one.
+       Should future state surgery ever break that invariant, fail as a
+       diagnosable error rather than an assertion crash mid-protocol. *)
     (match table.(st.me) with
     | Some r ->
-        let r = copy_row r in
+        let r = K.copy_row r in
         r.r_heard.(round - 1) <- !heard;
         table.(st.me) <- Some { r with r_upto = round }
-    | None -> assert false);
+    | None -> invalid_arg "P0opt+.receive: own row missing from table");
     let st = { st with table; time = round } in
     { st with decided = decide st }
 
   let output st = st.decided
+
+  (* full variant: every present row costs its value byte, a length byte
+     for the covered prefix, its owner id and [r_upto] dense heard-sets *)
+  let wire_size (params : Params.t) (m : msg) =
+    let open Protocol_intf.Wire in
+    let n = params.Params.n in
+    let bytes = ref header in
+    Array.iter
+      (function
+        | None -> ()
+        | Some r -> bytes := !bytes + proc_id + 2 + (r.r_upto * set_bytes n))
+      m;
+    !bytes
 end
 
 module Word = Make (Eba_util.Procset.Word)

@@ -1,0 +1,29 @@
+(** [P0opt+delta]: the bounded-bandwidth variant of {!P0opt_plus}.
+
+    Same {!Known_rows} table, same decision rules, same message presence —
+    but a destination receives only {e row extensions} beyond its proven
+    coverage (tracked per destination from the delta traffic itself),
+    each entry an explicit [(owner, value, from, heard-sets)] window under
+    a round-stamped header, so applying extensions is idempotent and
+    order-independent within a round.
+
+    Decisions are identical to {!P0opt_plus} in value and round on every
+    run (checked exhaustively by the differential suite); only
+    {!Protocol_intf.PROTOCOL.wire_size} differs — each heard-set crosses
+    each link roughly once instead of riding in every subsequent round. *)
+
+module Make (S : Eba_util.Procset.S) : Protocol_intf.PROTOCOL
+(** The protocol over an arbitrary processor-set representation; all
+    instances decide identically and send bit-identical messages. *)
+
+module Word : Protocol_intf.PROTOCOL
+(** [Make (Procset.Word)]: single-word sets, [n <= 62]. *)
+
+module Wide : Protocol_intf.PROTOCOL
+(** [Make (Procset.Wide)]: limb-array sets, any [n]. *)
+
+include Protocol_intf.PROTOCOL
+(** An alias of {!Word}, mirroring the full protocols' convention. *)
+
+val for_params : Eba_sim.Params.t -> (module Protocol_intf.PROTOCOL)
+(** {!Word} when [n] fits a single word, {!Wide} beyond. *)

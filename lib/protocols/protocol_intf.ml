@@ -12,6 +12,28 @@
 module Params = Eba_sim.Params
 module Value = Eba_sim.Value
 
+(** Sizing conventions of the nominal wire encoding, shared by every
+    protocol's {!PROTOCOL.wire_size}.  The encoding is byte-aligned and
+    deliberately simple — no varints, no compression — so byte counts are
+    exact, machine-independent integers the benchmark artifact can diff:
+
+    - every message starts with a {!header}: 1 tag byte (protocol/message
+      kind) + 4 bytes of round stamp, the epoch that lets retransmitted or
+      reordered copies merge idempotently;
+    - a processor id is {!proc_id} = 2 bytes (caps [n] at 65536, far above
+      the simulator's 4096 cap);
+    - a sparse known-value entry is {!entry} = 3 bytes (id + value byte);
+    - a dense vector of ternary values (0 / 1 / unknown) packs 4 to a byte:
+      {!trit_vector};
+    - a processor set packs 8 membership bits to a byte: {!set_bytes}. *)
+module Wire = struct
+  let header = 5
+  let proc_id = 2
+  let entry = proc_id + 1
+  let trit_vector n = (n + 3) / 4
+  let set_bytes n = (n + 7) / 8
+end
+
 module type PROTOCOL = sig
   val name : string
 
@@ -33,4 +55,12 @@ module type PROTOCOL = sig
   val output : state -> Value.t option
   (** Current decision, if any; once some value is returned the runner
       records the first time it appeared. *)
+
+  val wire_size : Params.t -> msg -> int
+  (** Exact serialized size of one message in bytes under the {!Wire}
+      conventions (header included).  A pure function of the message
+      content and [params] — never of time or of the sending state — so
+      retransmitted copies of a message all weigh the same and byte
+      accounting is deterministic.  The harnesses treat it as a metric
+      only: no protocol step may depend on it. *)
 end

@@ -19,6 +19,9 @@ type trace = {
   decisions : decision option array;  (** per processor, first output *)
   messages_attempted : int;  (** messages the protocol asked to send *)
   messages_delivered : int;
+  bytes_attempted : int;
+      (** total {!Protocol_intf.PROTOCOL.wire_size} of attempted messages *)
+  bytes_delivered : int;  (** ... and of the delivered ones *)
 }
 
 module Make (P : Protocol_intf.PROTOCOL) : sig

@@ -33,6 +33,8 @@ type summary = {
   by_failures : by_failures list;
   messages_attempted : int;
   messages_delivered : int;
+  bytes_attempted : int;
+  bytes_delivered : int;
   source : source;
 }
 
@@ -62,6 +64,8 @@ type state = {
   mutable s_max_time : int;
   mutable s_attempted : int;
   mutable s_delivered : int;
+  mutable s_bytes_attempted : int;
+  mutable s_bytes_delivered : int;
   s_per_f : (int, acc) Hashtbl.t;
 }
 
@@ -76,6 +80,8 @@ let fresh_state () =
     s_max_time = 0;
     s_attempted = 0;
     s_delivered = 0;
+    s_bytes_attempted = 0;
+    s_bytes_delivered = 0;
     s_per_f = Hashtbl.create 8;
   }
 
@@ -97,6 +103,8 @@ let merge_state into from =
   into.s_max_time <- max into.s_max_time from.s_max_time;
   into.s_attempted <- into.s_attempted + from.s_attempted;
   into.s_delivered <- into.s_delivered + from.s_delivered;
+  into.s_bytes_attempted <- into.s_bytes_attempted + from.s_bytes_attempted;
+  into.s_bytes_delivered <- into.s_bytes_delivered + from.s_bytes_delivered;
   Hashtbl.iter
     (fun f (b : acc) ->
       let a = acc_for into f in
@@ -112,6 +120,8 @@ let consume run n st (config, pattern) =
   let trace : Runner.trace = run config pattern in
   st.s_attempted <- st.s_attempted + trace.Runner.messages_attempted;
   st.s_delivered <- st.s_delivered + trace.Runner.messages_delivered;
+  st.s_bytes_attempted <- st.s_bytes_attempted + trace.Runner.bytes_attempted;
+  st.s_bytes_delivered <- st.s_bytes_delivered + trace.Runner.bytes_delivered;
   (* iterate the nonfaulty slots directly instead of materializing
      [Bitset.full n], which caps n at the word width; [Bitset.mem] is
      total, so this path is safe at any n *)
@@ -156,8 +166,9 @@ let summary_of_state ?(source = Enumerated) name st =
            {
              failures = f;
              count = a.a_count;
+             (* empty-mean convention: 0.0 when nothing decided (see mli) *)
              mean_time =
-               (if a.a_time_n = 0 then Float.nan
+               (if a.a_time_n = 0 then 0.0
                 else float_of_int a.a_time_sum /. float_of_int a.a_time_n);
              max_time = a.a_max;
              undecided = a.a_undecided;
@@ -170,12 +181,17 @@ let summary_of_state ?(source = Enumerated) name st =
     validity_violations = st.s_validity;
     undecided_nonfaulty = st.s_undecided;
     mean_time =
-      (if st.s_time_n = 0 then Float.nan
+      (* all-undecided sweeps have no decision times to average; 0.0 keeps
+         the summary finite and its JSON emission RFC 8259-valid (NaN has
+         no JSON encoding — [Eba_util.Json] would print [null]) *)
+      (if st.s_time_n = 0 then 0.0
        else float_of_int st.s_time_sum /. float_of_int st.s_time_n);
     max_time = st.s_max_time;
     by_failures;
     messages_attempted = st.s_attempted;
     messages_delivered = st.s_delivered;
+    bytes_attempted = st.s_bytes_attempted;
+    bytes_delivered = st.s_bytes_delivered;
     source;
   }
 
@@ -255,11 +271,44 @@ let source_json = function
           ("universe", Eba_util.Json.String universe);
         ]
 
+let summary_json s =
+  let open Eba_util.Json in
+  Obj
+    [
+      ("protocol", String s.protocol);
+      ("runs", Int s.runs);
+      ("agreement_violations", Int s.agreement_violations);
+      ("validity_violations", Int s.validity_violations);
+      ("undecided_nonfaulty", Int s.undecided_nonfaulty);
+      ("max_time", Int s.max_time);
+      ("messages_attempted", Int s.messages_attempted);
+      ("messages_delivered", Int s.messages_delivered);
+      ("bytes_attempted", Int s.bytes_attempted);
+      ("bytes_delivered", Int s.bytes_delivered);
+      ( "by_failures",
+        List
+          (List.map
+             (fun b ->
+               Obj
+                 [
+                   ("failures", Int b.failures);
+                   ("count", Int b.count);
+                   ("mean_time", Float b.mean_time);
+                   ("max_time", Int b.max_time);
+                   ("undecided", Int b.undecided);
+                 ])
+             s.by_failures) );
+      ("mean_time", Float s.mean_time);
+      ("source", source_json s.source);
+    ]
+
 let pp fmt s =
   Format.fprintf fmt "%s over %d runs: agreement-violations=%d validity-violations=%d \
-                      undecided=%d mean-decision=%.2f max-decision=%d msgs=%d/%d@\n"
+                      undecided=%d mean-decision=%.2f max-decision=%d msgs=%d/%d \
+                      bytes=%d/%d@\n"
     s.protocol s.runs s.agreement_violations s.validity_violations s.undecided_nonfaulty
-    s.mean_time s.max_time s.messages_delivered s.messages_attempted;
+    s.mean_time s.max_time s.messages_delivered s.messages_attempted
+    s.bytes_delivered s.bytes_attempted;
   Format.fprintf fmt "  source: %a@\n" pp_source s.source;
   List.iter (fun b -> Format.fprintf fmt "  %a@\n" pp_by_failures b) s.by_failures
 

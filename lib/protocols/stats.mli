@@ -13,7 +13,11 @@ module Pattern = Eba_sim.Pattern
 type by_failures = {
   failures : int;  (** [f] — processors exhibiting a failure *)
   count : int;  (** runs with this [f] *)
-  mean_time : float;  (** mean decision time of nonfaulty deciders *)
+  mean_time : float;
+      (** mean decision time of nonfaulty deciders; {e empty-mean
+          convention}: exactly [0.0] when no nonfaulty processor decided,
+          never NaN — summaries must stay finite so their JSON emission is
+          RFC 8259-valid *)
   max_time : int;
   undecided : int;  (** nonfaulty processors without a decision *)
 }
@@ -34,11 +38,15 @@ type summary = {
   agreement_violations : int;
   validity_violations : int;
   undecided_nonfaulty : int;
-  mean_time : float;
+  mean_time : float;  (** empty-mean convention: [0.0] when nothing decided *)
   max_time : int;
   by_failures : by_failures list;  (** ascending [f] *)
   messages_attempted : int;
   messages_delivered : int;
+  bytes_attempted : int;
+      (** exact total {!Protocol_intf.PROTOCOL.wire_size} of attempted
+          messages — an integer accumulator, bit-identical across [jobs] *)
+  bytes_delivered : int;
   source : source;
 }
 
@@ -95,3 +103,9 @@ val pp_table_header : Format.formatter -> unit -> unit
 val source_json : source -> Eba_util.Json.t
 (** [{"kind": ...}] plus the seed/samples/universe of sampled sources —
     what the benchmark artifact records next to sampled numbers. *)
+
+val summary_json : summary -> Eba_util.Json.t
+(** Schema-stable object: every count an integer (including the byte
+    totals), the means finite floats under the empty-mean convention, the
+    per-failure breakdown as a list, and the {!source_json} identity —
+    the [sampled] rows of the benchmark artifact. *)

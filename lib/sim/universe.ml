@@ -180,7 +180,17 @@ let prefix_forest ?(flavour = Exhaustive) (params : Params.t) =
                                 (send, recv, g :: groups))
                               rest)
                           part
-                    | _ -> assert false
+                    | [], _ :: _ | _ :: _, [] ->
+                        (* unreachable: [parts] is built by [List.map2]
+                           over [groups], and [groups] always has exactly
+                           one entry per processor of [procs] (both
+                           originate from the same [faulty_sets] row and
+                           recursion peels one of each) — but a mismatch
+                           would mean corrupted forest construction, so
+                           fail diagnosably rather than crash an assert *)
+                        invalid_arg
+                          "Universe.prefix_forest: per-processor partition \
+                           lists out of step"
                   in
                   List.map
                     (fun (send, recv, groups) -> node (depth + 1) ~send ~recv groups)
@@ -200,7 +210,14 @@ let prefix_forest ?(flavour = Exhaustive) (params : Params.t) =
                             leaves bl gl ((idx * Array.length behs) + i)
                               (behs.(i) :: acc))
                           (Array.to_list g)
-                    | _ -> assert false
+                    | [], _ :: _ | _ :: _, [] ->
+                        (* unreachable for the same reason as [cross]
+                           above: [groups] carries one index array per
+                           behaviour list and the recursion consumes them
+                           in lockstep *)
+                        invalid_arg
+                          "Universe.prefix_forest: behaviour/group lists \
+                           out of step"
                   in
                   leaves behaviours groups 0 []);
           }

@@ -22,5 +22,6 @@ let () =
       Test_metrics.suite;
       Test_differential.suite;
       Test_netsim.suite;
+      Test_compact.suite;
       Test_golden.suite;
     ]

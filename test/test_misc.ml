@@ -85,6 +85,7 @@ let runner_tests =
           let send _ () ~round:_ = [| None |] (* wrong arity *)
           let receive _ () ~round:_ _ = ()
           let output () = None
+          let wire_size _ () = Eba.Protocol_intf.Wire.header
         end in
         let module R = Eba.Runner.Make (Bad) in
         let params = crash_3_1_3.params in
