@@ -484,6 +484,16 @@ let sampled_rows () =
       (Eba.Stats.sampled (module Eba.Floodset) om8 ~seed:12 ~samples);
   ]
 
+(* Exact probcheck reports for the two pinned parameter sets.  These are
+   computed, not measured — every field is an exact rational (or a decimal
+   rendering of one), identical in smoke and full artifacts and across
+   machines, so the CI ratchet diffs them with string equality. *)
+let prob_rows () =
+  [
+    Eba.Prob.Report.to_json (Eba_harness.Probcheck_cases.small ());
+    Eba.Prob.Report.to_json (Eba_harness.Probcheck_cases.n64 ());
+  ]
+
 let write_json path =
   let entries =
     List.map
@@ -523,6 +533,7 @@ let write_json path =
         ("build", Eba.Json.List (List.map build_entry_json (build_cases ())));
         ("net", Eba.Json.List (net_rows ()));
         ("sampled", Eba.Json.List (sampled_rows ()));
+        ("prob", Eba.Json.List (prob_rows ()));
         ("metrics", Eba.Json.Obj metrics);
       ]
   in

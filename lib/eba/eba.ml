@@ -21,6 +21,7 @@
 
 (* foundation *)
 module Bitset = Eba_util.Bitset
+module Bigint = Eba_util.Bigint
 module Procset = Eba_util.Procset
 module Combi = Eba_util.Combi
 module Parallel = Eba_util.Parallel
@@ -75,6 +76,14 @@ module Stats = Eba_protocols.Stats
 module P0opt_delta = Eba_protocols.P0opt_delta
 module P0opt_plus_delta = Eba_protocols.P0opt_plus_delta
 module Chain0_cert = Eba_protocols.Chain0_cert
+
+(* exact probability engine *)
+module Prob = Eba_prob
+(** Exact-rational failure probabilities: {!Eba_prob.Q} (normalized
+    rationals over {!Eba_util.Bigint}), {!Eba_prob.Round_chain} (Markov
+    analysis of a {!Eba_net.Sync} round window under per-copy loss),
+    {!Eba_prob.Binomial} (exact confidence bounds for the Monte Carlo
+    differential), {!Eba_prob.Report} (the [eba probcheck] payload). *)
 
 (* network simulation *)
 module Net = Eba_net

@@ -40,6 +40,21 @@ let attempts t =
   done;
   1 + !retries
 
+let attempt_times t =
+  (* Mirror the event loop exactly: fire times accumulate by repeated
+     [+. rto] (not multiplication) and a retransmission is armed only
+     while [fire +. rto] stays strictly inside the window.  Offsets are
+     relative to the window start (round 1's absolute times). *)
+  let acc = ref [ 0.0 ] in
+  let fire = ref 0.0 in
+  let count = ref 0 in
+  while !count < t.max_retries && !fire +. t.rto < t.round_duration do
+    fire := !fire +. t.rto;
+    acc := !fire :: !acc;
+    incr count
+  done;
+  Array.of_list (List.rev !acc)
+
 let round_start t ~round = float_of_int (round - 1) *. t.round_duration
 let round_end t ~round = float_of_int round *. t.round_duration
 

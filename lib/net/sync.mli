@@ -44,6 +44,17 @@ val attempts : t -> int
     boundary retry is excluded (the same [< round_end] cutoff the event
     loop uses to schedule timers). *)
 
+val attempt_times : t -> float array
+(** Fire offsets of every admitted transmission, relative to the window
+    start: [[| 0.0; rto; rto +. rto; ... |]].  Computed by the same
+    repeated float addition and strict in-window re-arm test the event
+    loop uses, so the schedule is bit-exact against the simulator —
+    [Array.length (attempt_times t)] agrees with {!attempts} whenever
+    iterated addition and multiplication round identically (always at the
+    repo's dyadic-friendly defaults).  The probability engine
+    ({!Eba_prob.Round_chain}) keys its per-attempt window cutoffs off
+    these offsets. *)
+
 val round_start : t -> round:int -> float
 val round_end : t -> round:int -> float
 

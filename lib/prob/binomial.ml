@@ -1,0 +1,70 @@
+module Bigint = Eba_util.Bigint
+
+let choose n k =
+  if k < 0 || k > n then Bigint.zero
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let acc = ref Bigint.one in
+    for i = 0 to k - 1 do
+      (* Exact at every step: the running product C(n, i+1) is integral. *)
+      let num = Bigint.mul !acc (Bigint.of_int (n - i)) in
+      let q, r = Bigint.divmod num (Bigint.of_int (i + 1)) in
+      assert (Bigint.sign r = 0);
+      acc := q
+    done;
+    !acc
+  end
+
+let pmf ~n ~k ~p =
+  if k < 0 || k > n then Q.zero
+  else
+    Q.mul
+      (Q.of_bigint (choose n k))
+      (Q.mul (Q.pow p k) (Q.pow (Q.one_minus p) (n - k)))
+
+let cdf ~n ~k ~p =
+  let acc = ref Q.zero in
+  for i = 0 to Stdlib.min k n do
+    acc := Q.add !acc (pmf ~n ~k:i ~p)
+  done;
+  !acc
+
+let two_sided_bounds ~n ~p ~alpha =
+  if n < 1 then invalid_arg "Binomial.two_sided_bounds: n must be >= 1";
+  if Q.sign p < 0 || Q.compare p Q.one > 0 then
+    invalid_arg "Binomial.two_sided_bounds: p must be in [0, 1]";
+  if Q.sign alpha <= 0 || Q.compare alpha Q.one >= 0 then
+    invalid_arg "Binomial.two_sided_bounds: alpha must be in (0, 1)";
+  if Q.is_zero p then (0, 0)
+  else if Q.equal p Q.one then (n, n)
+  else begin
+    let a = Q.num p and b = Q.den p in
+    let b_minus_a = Bigint.sub b a in
+    (* All terms live over the common denominator b^n; alpha/2 = an/ad. *)
+    let d = Bigint.pow b n in
+    let half_alpha = Q.div alpha (Q.of_int 2) in
+    let an = Q.num half_alpha and ad = Q.den half_alpha in
+    let low_threshold = Bigint.mul d an in
+    let high_threshold = Bigint.mul d (Bigint.sub ad an) in
+    let term = ref (Bigint.pow b_minus_a n) in
+    let acc = ref !term in
+    let lo = ref (-1) and hi = ref (-1) in
+    let k = ref 0 in
+    while !hi < 0 && !k <= n do
+      let scaled = Bigint.mul !acc ad in
+      if !lo < 0 && Bigint.compare scaled low_threshold > 0 then lo := !k;
+      if Bigint.compare scaled high_threshold >= 0 then hi := !k;
+      if !hi < 0 then begin
+        (* term_{k+1} = term_k * (n-k) * a / ((k+1) * (b-a)), exactly. *)
+        let num = Bigint.mul !term (Bigint.mul (Bigint.of_int (n - !k)) a) in
+        let q, r =
+          Bigint.divmod num (Bigint.mul (Bigint.of_int (!k + 1)) b_minus_a)
+        in
+        assert (Bigint.sign r = 0);
+        term := q;
+        acc := Bigint.add !acc q;
+        incr k
+      end
+    done;
+    ((if !lo < 0 then n else !lo), (if !hi < 0 then n else !hi))
+  end

@@ -1,0 +1,26 @@
+(** Exact binomial distribution arithmetic.
+
+    {!pmf} and {!cdf} build normalized rationals and are meant for small
+    [n] (closed-form cross-checks).  {!two_sided_bounds} is the
+    Monte-Carlo differential workhorse: it runs entirely in integer
+    arithmetic over the fixed denominator [b^n] (for [p = a/b]), using the
+    exact term recurrence
+    [term_{k+1} = term_k * (n-k) * a / ((k+1) * (b-a))], so it scales to
+    the tens of thousands of trials a seeded netsim sweep produces. *)
+
+val choose : int -> int -> Eba_util.Bigint.t
+(** [choose n k]; zero outside [0 <= k <= n]. *)
+
+val pmf : n:int -> k:int -> p:Q.t -> Q.t
+(** [P(X = k)] for [X ~ Binomial(n, p)]. *)
+
+val cdf : n:int -> k:int -> p:Q.t -> Q.t
+(** [P(X <= k)]. *)
+
+val two_sided_bounds : n:int -> p:Q.t -> alpha:Q.t -> int * int
+(** [(lo, hi)] with [P(X < lo) <= alpha/2] and [P(X > hi) <= alpha/2] —
+    the tightest such central interval: [lo] is the smallest [k] with
+    [cdf k > alpha/2], [hi] the smallest [k] with [cdf k >= 1 - alpha/2].
+    An observation outside [[lo, hi]] rejects [p] at level [alpha].
+    Raises [Invalid_argument] unless [n >= 1], [0 <= p <= 1] and
+    [0 < alpha < 1]. *)

@@ -1,0 +1,124 @@
+module Bigint = Eba_util.Bigint
+module Sync = Eba_net.Sync
+module Link = Eba_net.Link
+
+type spec = {
+  attempts : int;
+  loss : Q.t;
+  in_window : Q.t array;
+  success : Q.t array;
+}
+
+let clamp01 q = Q.max Q.zero (Q.min Q.one q)
+
+let latency_cdf lat ~cutoff =
+  match lat with
+  | Link.Const c -> if Q.compare (Q.of_float c) cutoff < 0 then Q.one else Q.zero
+  | Link.Uniform (lo, hi) ->
+      if hi = lo then
+        if Q.compare (Q.of_float lo) cutoff < 0 then Q.one else Q.zero
+      else begin
+        let lo = Q.of_float lo and hi = Q.of_float hi in
+        clamp01 (Q.div (Q.sub cutoff lo) (Q.sub hi lo))
+      end
+  | Link.Spike { base; prob; spike } ->
+      let p = clamp01 (Q.of_float prob) in
+      let hit q = if Q.compare (Q.of_float q) cutoff < 0 then Q.one else Q.zero in
+      Q.add (Q.mul (Q.one_minus p) (hit base)) (Q.mul p (hit spike))
+
+let spec ~sync ~latency ~loss =
+  if Q.sign loss < 0 || Q.compare loss Q.one >= 0 then
+    invalid_arg "Round_chain.spec: loss must be in [0, 1)";
+  let offsets = Sync.attempt_times sync in
+  let attempts = Array.length offsets in
+  let window = Q.of_float sync.Sync.round_duration in
+  let in_window =
+    Array.map
+      (fun off -> latency_cdf latency ~cutoff:(Q.sub window (Q.of_float off)))
+      offsets
+  in
+  let survive = Q.one_minus loss in
+  let success = Array.map (fun u -> Q.mul survive u) in_window in
+  { attempts; loss; in_window; success }
+
+let miss_after spec k =
+  if k < 0 || k > spec.attempts then
+    invalid_arg "Round_chain.miss_after: attempt index out of range";
+  let acc = ref Q.one in
+  for a = 0 to k - 1 do
+    acc := Q.mul !acc (Q.one_minus spec.success.(a))
+  done;
+  !acc
+
+let per_message_miss spec = miss_after spec spec.attempts
+
+let all_by spec ~m ~k =
+  if m < 0 then invalid_arg "Round_chain.all_by: m must be >= 0";
+  Q.pow (Q.one_minus (miss_after spec k)) m
+
+let window_clean spec ~m = all_by spec ~m ~k:spec.attempts
+let expected_undelivered spec ~m = Q.mul (Q.of_int m) (per_message_miss spec)
+
+type landing = {
+  all_by_attempt : Q.t array;
+  exactly_decimal : string array;
+  residual_decimal : string;
+}
+
+let landing ?sig_figs spec ~m =
+  if m < 1 then invalid_arg "Round_chain.landing: m must be >= 1";
+  let all_by_attempt =
+    Array.init (spec.attempts + 1) (fun k -> all_by spec ~m ~k)
+  in
+  let exactly_decimal =
+    Array.init spec.attempts (fun i ->
+        (* all_by (k) - all_by (k-1) over the product denominator —
+           never normalized, never gcd'd. *)
+        let hi = all_by_attempt.(i + 1) and lo = all_by_attempt.(i) in
+        let num =
+          Bigint.sub
+            (Bigint.mul (Q.num hi) (Q.den lo))
+            (Bigint.mul (Q.num lo) (Q.den hi))
+        in
+        let den = Bigint.mul (Q.den hi) (Q.den lo) in
+        Q.decimal_of_ratio ?sig_figs ~num ~den ())
+  in
+  let residual_decimal =
+    let clean = all_by_attempt.(spec.attempts) in
+    Q.decimal_of_ratio ?sig_figs
+      ~num:(Bigint.sub (Q.den clean) (Q.num clean))
+      ~den:(Q.den clean) ()
+  in
+  { all_by_attempt; exactly_decimal; residual_decimal }
+
+let chain spec ~m =
+  if m < 0 then invalid_arg "Round_chain.chain: m must be >= 0";
+  let rows = Array.make (spec.attempts + 1) [||] in
+  let row0 = Array.make (m + 1) Q.zero in
+  row0.(m) <- Q.one;
+  rows.(0) <- row0;
+  for a = 1 to spec.attempts do
+    let s = spec.success.(a - 1) in
+    let fail = Q.one_minus s in
+    let prev = rows.(a - 1) in
+    let next = Array.make (m + 1) Q.zero in
+    for j = 0 to m do
+      if not (Q.is_zero prev.(j)) then
+        (* j undelivered; each lands independently with probability s. *)
+        for i = 0 to j do
+          let move =
+            Q.mul
+              (Q.of_bigint (Binomial.choose j i))
+              (Q.mul (Q.pow s i) (Q.pow fail (j - i)))
+          in
+          next.(j - i) <- Q.add next.(j - i) (Q.mul prev.(j) move)
+        done
+    done;
+    rows.(a) <- next
+  done;
+  rows
+
+let pp_spec fmt spec =
+  Format.fprintf fmt "attempts=%d loss=%s success=[%s]" spec.attempts
+    (Q.to_string spec.loss)
+    (String.concat "; " (Array.to_list (Array.map Q.to_string spec.success)))

@@ -1,0 +1,60 @@
+(** Arbitrary-precision signed integers, dependency-free.
+
+    Sign-magnitude representation over base-2^30 limbs so that limb
+    products fit comfortably in OCaml's 63-bit native [int]; no [zarith].
+    Values are immutable and canonical: the magnitude carries no leading
+    zero limbs and the zero value has an empty magnitude, so structural
+    equality coincides with numeric equality.
+
+    Sized for the probability engine ({!Eba_prob}): multiplication
+    switches to Karatsuba above a fixed limb threshold, exponentiation is
+    by repeated squaring, and division is Knuth's Algorithm D — whose cost
+    is proportional to quotient limbs times divisor limbs, i.e. cheap in
+    the engine's dominant use (reducing a huge numerator by a huge,
+    same-size denominator to a handful of quotient digits). *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Total, including [min_int]. *)
+
+val to_int_opt : t -> int option
+(** [Some n] iff the value fits a native [int]. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow b e] by repeated squaring.  Raises [Invalid_argument] on
+    [e < 0]. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|] and [r]
+    carrying the sign of [a] (truncated division, like [Stdlib.( / )]).
+    Raises [Division_by_zero] on [b = 0]. *)
+
+val gcd : t -> t -> t
+(** Non-negative; [gcd 0 0 = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_string : string -> t
+(** Decimal, with optional leading [-].  Raises [Invalid_argument] on
+    anything else (no underscores, no hex). *)
+
+val to_string : t -> string
+(** Decimal rendering; [of_string (to_string x) = x]. *)
+
+val num_digits : t -> int
+(** Number of decimal digits of the magnitude ([1] for zero). *)
+
+val pp : Format.formatter -> t -> unit

@@ -23,5 +23,6 @@ let () =
       Test_differential.suite;
       Test_netsim.suite;
       Test_compact.suite;
+      Test_prob.suite;
       Test_golden.suite;
     ]

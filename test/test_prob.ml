@@ -1,0 +1,539 @@
+(* The exact probability engine, tested at three levels:
+
+   1. Foundations: qcheck laws for `Bigint` and `Q` against the native-int
+      model below overflow, plus normalization/rendering invariants.
+   2. Ground truth: the Markov chain of a sync round window agrees exactly
+      (rational equality, not tolerance) with the closed forms and with
+      the Binomial(m, q) factorization at small sizes.
+   3. Differential: seeded Monte Carlo netsim sweeps land inside exact
+      99.9% binomial confidence bounds computed from the Markov answer —
+      the enumerated/sampled discipline of PRs 2-6 applied to
+      probabilities.  A sweep also pins the deterministic decision time
+      against the model's exact nanosecond count. *)
+
+open Helpers
+module B = Eba.Bigint
+module Q = Eba.Prob.Q
+module RC = Eba.Prob.Round_chain
+module Bin = Eba.Prob.Binomial
+module Report = Eba.Prob.Report
+module Net = Eba.Net
+
+(* --- Bigint vs the native-int model --- *)
+
+let gen_i9 = QCheck2.Gen.int_range (-1_000_000_000) 1_000_000_000
+
+(* A value that overflows native ints: a product of three 9-digit ints. *)
+let gen_big =
+  QCheck2.Gen.map
+    (fun ((a, b), c) -> B.mul (B.mul (B.of_int a) (B.of_int b)) (B.of_int c))
+    QCheck2.Gen.(pair (pair gen_i9 gen_i9) gen_i9)
+
+let bigint_tests =
+  [
+    qtest "qcheck: of_int/to_int_opt round-trips the whole int range"
+      QCheck2.Gen.int
+      (fun x -> B.to_int_opt (B.of_int x) = Some x);
+    qtest "qcheck: add matches the int model below overflow"
+      QCheck2.Gen.(pair gen_i9 gen_i9)
+      (fun (a, b) -> B.to_int_opt (B.add (B.of_int a) (B.of_int b)) = Some (a + b));
+    qtest "qcheck: sub matches the int model below overflow"
+      QCheck2.Gen.(pair gen_i9 gen_i9)
+      (fun (a, b) -> B.to_int_opt (B.sub (B.of_int a) (B.of_int b)) = Some (a - b));
+    qtest "qcheck: mul matches the int model below overflow"
+      QCheck2.Gen.(pair gen_i9 gen_i9)
+      (fun (a, b) -> B.to_int_opt (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+      (* 10^9 * 10^9 = 10^18 < 2^62 *);
+    qtest "qcheck: pow matches the int model below overflow"
+      QCheck2.Gen.(pair (int_range (-30) 30) (int_range 0 12))
+      (fun (b, e) ->
+        let rec ipow acc i = if i = 0 then acc else ipow (acc * b) (i - 1) in
+        B.to_int_opt (B.pow (B.of_int b) e) = Some (ipow 1 e));
+    qtest "qcheck: compare agrees with the int model"
+      QCheck2.Gen.(pair gen_i9 gen_i9)
+      (fun (a, b) -> B.compare (B.of_int a) (B.of_int b) = compare a b);
+    qtest "qcheck: to_string round-trips through of_string" gen_big (fun x ->
+        B.equal (B.of_string (B.to_string x)) x);
+    qtest "qcheck: to_string matches the int model" QCheck2.Gen.int (fun x ->
+        B.to_string (B.of_int x) = string_of_int x);
+    qtest "qcheck: divmod invariant a = q*b + r with |r| < |b|, sign of a"
+      QCheck2.Gen.(pair gen_big (map B.of_int (oneof [ gen_i9; int_range 1 50 ])))
+      (fun (a, b) ->
+        if B.sign b = 0 then true
+        else begin
+          let q, r = B.divmod a b in
+          B.equal a (B.add (B.mul q b) r)
+          && B.compare (B.abs r) (B.abs b) < 0
+          && (B.sign r = 0 || B.sign r = B.sign a)
+        end);
+    qtest "qcheck: gcd divides both and matches Euclid on ints"
+      QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 100000))
+      (fun (a, b) ->
+        let rec euclid a b = if b = 0 then a else euclid b (a mod b) in
+        B.to_int_opt (B.gcd (B.of_int a) (B.of_int b)) = Some (euclid a b));
+    qtest "qcheck: gcd of big products divides both" gen_big (fun x ->
+        let y = B.mul x (B.of_int 91) in
+        let g = B.gcd x y in
+        if B.sign x = 0 then B.equal g (B.abs y)
+        else
+          B.sign (snd (B.divmod x g)) = 0 && B.sign (snd (B.divmod y g)) = 0);
+    qtest "qcheck: num_digits equals the decimal rendering's length" gen_big
+      (fun x -> B.num_digits x = String.length (B.to_string (B.abs x)));
+    test "of_string rejects garbage" (fun () ->
+        List.iter
+          (fun s ->
+            check (Printf.sprintf "reject %S" s) true
+              (match B.of_string s with
+              | _ -> false
+              | exception Invalid_argument _ -> true))
+          [ ""; "-"; "1_2"; "0x10"; "12.5"; " 7" ]);
+    test "min_int corner: negation and rendering" (fun () ->
+        let m = B.of_int min_int in
+        check "to_string" true (B.to_string m = string_of_int min_int);
+        check "round trip" true (B.to_int_opt m = Some min_int);
+        check "neg leaves int range" true
+          (B.to_int_opt (B.neg m) = None
+          && B.equal (B.neg (B.neg m)) m));
+  ]
+
+(* --- Q: normalization, field laws, rendering --- *)
+
+let gen_q =
+  QCheck2.Gen.map
+    (fun (a, b) -> Q.of_ints a (if b = 0 then 1 else b))
+    QCheck2.Gen.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+
+let q_tests =
+  [
+    qtest "qcheck: make normalizes (den > 0, gcd = 1, sign on numerator)"
+      QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+      (fun (a, b) ->
+        if b = 0 then true
+        else begin
+          let q = Q.of_ints a b in
+          B.sign (Q.den q) > 0
+          && B.equal (B.gcd (Q.num q) (Q.den q)) B.one
+          && Q.sign q = compare (a * b) 0
+        end);
+    qtest "qcheck: (a + b) - b = a" QCheck2.Gen.(pair gen_q gen_q)
+      (fun (a, b) -> Q.equal (Q.sub (Q.add a b) b) a);
+    qtest "qcheck: a * (b + c) = a*b + a*c"
+      QCheck2.Gen.(pair gen_q (pair gen_q gen_q))
+      (fun (a, (b, c)) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    qtest "qcheck: (a / b) * b = a for b <> 0" QCheck2.Gen.(pair gen_q gen_q)
+      (fun (a, b) -> Q.is_zero b || Q.equal (Q.mul (Q.div a b) b) a);
+    qtest "qcheck: pow agrees with iterated mul"
+      QCheck2.Gen.(pair gen_q (int_range 0 8))
+      (fun (q, k) ->
+        let rec go acc i = if i = 0 then acc else go (Q.mul acc q) (i - 1) in
+        Q.equal (Q.pow q k) (go Q.one k));
+    qtest "qcheck: pow of a negative exponent inverts"
+      QCheck2.Gen.(pair gen_q (int_range 1 6))
+      (fun (q, k) ->
+        Q.is_zero q || Q.equal (Q.pow q (-k)) (Q.inv (Q.pow q k)));
+    qtest "qcheck: compare is antisymmetric and agrees with sub's sign"
+      QCheck2.Gen.(pair gen_q gen_q)
+      (fun (a, b) ->
+        Q.compare a b = -Q.compare b a && Q.compare a b = Q.sign (Q.sub a b));
+    qtest "qcheck: equal coincides with compare = 0 (canonical forms)"
+      QCheck2.Gen.(pair gen_q gen_q)
+      (fun (a, b) -> Q.equal a b = (Q.compare a b = 0));
+    qtest "qcheck: decimal literals round-trip exactly"
+      QCheck2.Gen.(pair (int_range 1 999999) (int_range 0 3))
+      (fun (a, k) ->
+        let x = Q.make (B.of_int a) (B.pow (B.of_int 10) k) in
+        Q.equal (Q.of_decimal_string (Q.to_decimal ~sig_figs:12 x)) x);
+    test "of_float is exact on dyadics" (fun () ->
+        check "0.5" true (Q.equal (Q.of_float 0.5) (Q.of_ints 1 2));
+        check "-0.375" true (Q.equal (Q.of_float (-0.375)) (Q.of_ints (-3) 8));
+        check "2.5" true (Q.equal (Q.of_float 2.5) (Q.of_ints 5 2));
+        check "20.0" true (Q.equal (Q.of_float 20.0) (Q.of_int 20));
+        check "0" true (Q.equal (Q.of_float 0.0) Q.zero));
+    test "of_float 0.1 is the float, not the literal" (fun () ->
+        (* the binary double closest to 0.1 — exactly why probcheck parses
+           loss from the decimal string instead *)
+        check "0.1 <> 1/10" false (Q.equal (Q.of_float 0.1) (Q.of_ints 1 10));
+        check "0.1 dyadic den" true
+          (B.equal (Q.den (Q.of_float 0.1))
+             (B.pow (B.of_int 2) 55)));
+    test "of_decimal_string parses exactly" (fun () ->
+        check "0.05" true (Q.equal (Q.of_decimal_string "0.05") (Q.of_ints 1 20));
+        check "3.14" true (Q.equal (Q.of_decimal_string "3.14") (Q.of_ints 157 50));
+        check "-0.125" true
+          (Q.equal (Q.of_decimal_string "-0.125") (Q.of_ints (-1) 8));
+        check "10" true (Q.equal (Q.of_decimal_string "10") (Q.of_int 10));
+        check ".5" true (Q.equal (Q.of_decimal_string ".5") (Q.of_ints 1 2));
+        List.iter
+          (fun s ->
+            check (Printf.sprintf "reject %S" s) true
+              (match Q.of_decimal_string s with
+              | _ -> false
+              | exception Invalid_argument _ -> true))
+          [ ""; "."; "1e5"; "1.2.3"; "1/2" ]);
+    test "to_decimal renders like %g" (fun () ->
+        let cases =
+          [
+            (Q.of_ints 1 2, "0.5");
+            (Q.of_ints 1 20, "0.05");
+            (Q.of_ints (-3) 2, "-1.5");
+            (Q.of_int 0, "0");
+            (Q.of_ints 1 3, "0.333333333");
+            (Q.of_ints 2 3, "0.666666667");
+            (Q.of_ints 1 25_600_000_000, "3.90625e-11");
+            (Q.of_ints 567 400_000_000, "1.4175e-06");
+            (Q.of_int 180_000_000_000, "1.8e+11");
+          ]
+        in
+        List.iter
+          (fun (q, expect) ->
+            Alcotest.(check string) expect expect (Q.to_decimal q))
+          cases;
+        Alcotest.(check string) "sig_figs=3 rounding overflow" "1e+03"
+          (Q.to_decimal ~sig_figs:3 (Q.of_ints 999999 1000)));
+    test "decimal_of_ratio works unreduced" (fun () ->
+        Alcotest.(check string) "6/4" "1.5"
+          (Q.decimal_of_ratio ~num:(B.of_int 6) ~den:(B.of_int 4) ()));
+  ]
+
+(* --- Binomial: exact distribution arithmetic --- *)
+
+let binomial_tests =
+  [
+    test "choose: Pascal row 6" (fun () ->
+        List.iteri
+          (fun k expect ->
+            check_int (Printf.sprintf "C(6,%d)" k) expect
+              (Option.get (B.to_int_opt (Bin.choose 6 k))))
+          [ 1; 6; 15; 20; 15; 6; 1 ]);
+    qtest "qcheck: choose satisfies the Pascal recurrence"
+      QCheck2.Gen.(pair (int_range 1 40) (int_range 0 40))
+      (fun (n, k) ->
+        B.equal (Bin.choose n k)
+          (B.add (Bin.choose (n - 1) (k - 1)) (Bin.choose (n - 1) k)));
+    qtest "qcheck: pmf sums to exactly one"
+      QCheck2.Gen.(pair (int_range 1 12) (pair (int_range 0 10) (int_range 1 10)))
+      (fun (n, (a, b)) ->
+        let p = Q.of_ints (min a b) (max (min a b) b) in
+        let total = ref Q.zero in
+        for k = 0 to n do
+          total := Q.add !total (Bin.pmf ~n ~k ~p)
+        done;
+        Q.equal !total Q.one);
+    qtest "qcheck: two_sided_bounds is the tightest exact central interval"
+      QCheck2.Gen.(pair (int_range 1 40) (int_range 1 19))
+      (fun (n, a) ->
+        let p = Q.of_ints a 20 in
+        let alpha = Q.of_ints 1 1000 in
+        let half = Q.div alpha (Q.of_int 2) in
+        let lo, hi = Bin.two_sided_bounds ~n ~p ~alpha in
+        let cdf k = Bin.cdf ~n ~k ~p in
+        lo <= hi
+        && (lo = 0 || Q.compare (cdf (lo - 1)) half <= 0)
+        && Q.compare (cdf lo) half > 0
+        && Q.compare (cdf hi) (Q.sub Q.one half) >= 0
+        && (hi = 0 || Q.compare (cdf (hi - 1)) (Q.sub Q.one half) < 0));
+    test "two_sided_bounds degenerate p" (fun () ->
+        check "p=0" true (Bin.two_sided_bounds ~n:50 ~p:Q.zero ~alpha:(Q.of_ints 1 100) = (0, 0));
+        check "p=1" true (Bin.two_sided_bounds ~n:50 ~p:Q.one ~alpha:(Q.of_ints 1 100) = (50, 50)));
+    test "two_sided_bounds at Monte Carlo scale brackets the mean" (fun () ->
+        let lo, hi =
+          Bin.two_sided_bounds ~n:7200 ~p:(Q.of_ints 1 16) ~alpha:(Q.of_ints 1 1000)
+        in
+        check "lo <= mean" true (lo <= 450);
+        check "mean <= hi" true (450 <= hi);
+        check "bounds discriminate a wrong attempt count" true
+          (hi < 900 && lo > 225));
+  ]
+
+(* --- Round_chain: spec, chain-vs-closed-form, landing --- *)
+
+let sync ~d ~rto ~retries = Net.Sync.make ~round_duration:d ~rto ~max_retries:retries
+
+(* rto=1, window=4, deep budget: the PR 6 boundary case — the retry at
+   offset 4 would land exactly on the close, so only 4 attempts exist. *)
+let boundary_sync = sync ~d:4.0 ~rto:1.0 ~retries:7
+
+let chain_tests =
+  [
+    test "attempt_times mirrors attempts on the default timing" (fun () ->
+        List.iter
+          (fun bound ->
+            let topo =
+              Net.Topology.make ~n:4
+                ~link:(Net.Link.make ~latency:(Net.Link.Const bound) ~loss:0.0)
+            in
+            let s = Net.Sync.default_for topo in
+            let times = Net.Sync.attempt_times s in
+            check_int
+              (Printf.sprintf "bound %g" bound)
+              (Net.Sync.attempts s) (Array.length times);
+            check "starts at 0" true (times.(0) = 0.0);
+            Array.iteri
+              (fun i t ->
+                if i > 0 then begin
+                  check "increasing" true (t > times.(i - 1));
+                  check "inside window" true (t < s.Net.Sync.round_duration)
+                end)
+              times)
+          [ 0.0; 0.25; 1.0; 3.0 ]);
+    test "boundary window = k * rto admits k attempts, not k+1" (fun () ->
+        check_int "attempts" 4 (Net.Sync.attempts boundary_sync);
+        check_int "attempt_times" 4 (Array.length (Net.Sync.attempt_times boundary_sync));
+        check "offsets" true (Net.Sync.attempt_times boundary_sync = [| 0.0; 1.0; 2.0; 3.0 |]));
+    test "spec: constant latency inside the window saturates in_window" (fun () ->
+        let spec =
+          RC.spec ~sync:(sync ~d:8.0 ~rto:1.0 ~retries:1)
+            ~latency:(Net.Link.Const 0.25) ~loss:(Q.of_ints 1 4)
+        in
+        check_int "attempts" 2 spec.RC.attempts;
+        Array.iter (fun u -> check "u = 1" true (Q.equal u Q.one)) spec.RC.in_window;
+        Array.iter
+          (fun s -> check "s = 3/4" true (Q.equal s (Q.of_ints 3 4)))
+          spec.RC.success;
+        check "miss = 1/16" true
+          (Q.equal (RC.per_message_miss spec) (Q.of_ints 1 16)));
+    test "spec: uniform latency crosses the last cutoff" (fun () ->
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Uniform (0.5, 1.5))
+            ~loss:(Q.of_ints 1 2)
+        in
+        (* cutoffs 4, 3, 2, 1: the attempt-4 copy only lands if its latency
+           is below 1.0, i.e. with probability (1 - 0.5) / (1.5 - 0.5). *)
+        check "u = [1; 1; 1; 1/2]" true
+          (Array.for_all2 Q.equal spec.RC.in_window
+             [| Q.one; Q.one; Q.one; Q.of_ints 1 2 |]);
+        check "q = 3/32" true
+          (Q.equal (RC.per_message_miss spec) (Q.of_ints 3 32)));
+    test "spec: spike latency mixes the two branches" (fun () ->
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Spike { base = 0.5; prob = 0.25; spike = 10.0 })
+            ~loss:Q.zero
+        in
+        Array.iter
+          (fun u -> check "u = 3/4" true (Q.equal u (Q.of_ints 3 4)))
+          spec.RC.in_window);
+    test "latency_cdf edge: arrival exactly at the close is late" (fun () ->
+        check "const at cutoff" true
+          (Q.is_zero (RC.latency_cdf (Net.Link.Const 1.0) ~cutoff:(Q.of_int 1)));
+        check "const below cutoff" true
+          (Q.equal (RC.latency_cdf (Net.Link.Const 0.99) ~cutoff:(Q.of_int 1)) Q.one));
+    test "chain rows are exact probability distributions" (fun () ->
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Uniform (0.5, 1.5))
+            ~loss:(Q.of_ints 1 2)
+        in
+        let rows = RC.chain spec ~m:6 in
+        check_int "rows" (spec.RC.attempts + 1) (Array.length rows);
+        Array.iter
+          (fun row ->
+            let total = Array.fold_left Q.add Q.zero row in
+            check "row sums to 1" true (Q.equal total Q.one))
+          rows);
+    test "chain absorbs into Binomial(m, q): exact rational equality" (fun () ->
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Uniform (0.5, 1.5))
+            ~loss:(Q.of_ints 1 2)
+        in
+        let m = 6 in
+        let rows = RC.chain spec ~m in
+        let final = rows.(spec.RC.attempts) in
+        let q = RC.per_message_miss spec in
+        for j = 0 to m do
+          check
+            (Printf.sprintf "P(%d undelivered)" j)
+            true
+            (Q.equal final.(j) (Bin.pmf ~n:m ~k:j ~p:q))
+        done);
+    test "chain mass at zero equals the all_by closed form at every step" (fun () ->
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Uniform (0.5, 1.5))
+            ~loss:(Q.of_ints 1 2)
+        in
+        let m = 5 in
+        let rows = RC.chain spec ~m in
+        for k = 0 to spec.RC.attempts do
+          check
+            (Printf.sprintf "all_by %d" k)
+            true
+            (Q.equal rows.(k).(0) (RC.all_by spec ~m ~k))
+        done);
+    test "chain expectation equals m * q" (fun () ->
+        let spec =
+          RC.spec ~sync:(sync ~d:8.0 ~rto:1.0 ~retries:2)
+            ~latency:(Net.Link.Const 0.25) ~loss:(Q.of_ints 1 4)
+        in
+        let m = 7 in
+        let rows = RC.chain spec ~m in
+        let final = rows.(spec.RC.attempts) in
+        let expectation = ref Q.zero in
+        Array.iteri
+          (fun j p -> expectation := Q.add !expectation (Q.mul (Q.of_int j) p))
+          final;
+        check "E = m*q" true
+          (Q.equal !expectation (RC.expected_undelivered spec ~m)));
+    test "landing distribution is consistent with all_by and sums to one" (fun () ->
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Uniform (0.5, 1.5))
+            ~loss:(Q.of_ints 1 2)
+        in
+        let m = 5 in
+        let landing = RC.landing ~sig_figs:9 spec ~m in
+        check_int "all_by entries" (spec.RC.attempts + 1)
+          (Array.length landing.RC.all_by_attempt);
+        Array.iteri
+          (fun i d ->
+            let exact =
+              Q.sub landing.RC.all_by_attempt.(i + 1) landing.RC.all_by_attempt.(i)
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "exactly %d" (i + 1))
+              (Q.to_decimal ~sig_figs:9 exact) d)
+          landing.RC.exactly_decimal;
+        Alcotest.(check string) "residual"
+          (Q.to_decimal ~sig_figs:9
+             (Q.one_minus landing.RC.all_by_attempt.(spec.RC.attempts)))
+          landing.RC.residual_decimal;
+        (* exact total: all_by A + residual = 1 *)
+        check "monotone" true
+          (Array.for_all
+             (fun k ->
+               Q.compare landing.RC.all_by_attempt.(k)
+                 landing.RC.all_by_attempt.(k + 1)
+               <= 0)
+             (Array.init spec.RC.attempts (fun i -> i))));
+    test "committed n=64 row: exact residual miss, misses, decision time" (fun () ->
+        let report = Eba_harness.Probcheck_cases.n64 () in
+        check "q = 1/25600000000" true
+          (Q.equal report.Report.per_message_miss (Q.of_ints 1 25_600_000_000));
+        check "E misses = 567/400000000" true
+          (Q.equal report.Report.expected_misses_per_run
+             (Q.of_ints 567 400_000_000));
+        Alcotest.(check string) "q decimal" "3.90625e-11"
+          (Q.to_decimal report.Report.per_message_miss);
+        check "decision = 180e9 ns" true
+          (Q.equal report.Report.decision_time_ns (Q.of_int 180_000_000_000));
+        check_int "attempts" 8 report.Report.spec.RC.attempts;
+        check_int "messages per run" 36288 report.Report.messages_per_run);
+  ]
+
+(* --- Monte Carlo differential: seeded sweeps inside exact bounds --- *)
+
+(* A loss-only sweep (no faults): every one of the runs * rounds * n(n-1)
+   FloodSet messages independently misses its window with the model's
+   exact probability q, so the sweep's missed-message count is a
+   Binomial(N, q) draw.  Assert it lands inside the exact two-sided 99.9%
+   interval — and that the deterministic decision times match the model's
+   nanosecond count exactly. *)
+let mc_case ~name ~n ~t ~latency ~loss ~loss_float ~sync ~runs ~seed ~jobs () =
+  let rounds = t + 1 in
+  let spec = RC.spec ~sync ~latency ~loss in
+  let q = RC.per_message_miss spec in
+  let total = runs * rounds * n * (n - 1) in
+  let lo, hi = Bin.two_sided_bounds ~n:total ~p:q ~alpha:(Q.of_ints 1 1000) in
+  let params = Eba.Params.make ~n ~t ~horizon:rounds ~mode:Eba.Params.Crash in
+  let topology =
+    Net.Topology.make ~n ~link:(Net.Link.make ~latency ~loss:loss_float)
+  in
+  let summary =
+    Net.Netsim.sweep ~jobs
+      (module Eba.Floodset)
+      params ~sync ~topology
+      ~dynamic:(Net.Inject.dynamic ~max_faulty:0 ())
+      ~seed ~runs
+  in
+  check_int (name ^ ": every message attempted") total
+    summary.Net.Net_stats.ns_attempted;
+  let missed =
+    summary.Net.Net_stats.ns_attempted - summary.Net.Net_stats.ns_delivered
+  in
+  check
+    (Printf.sprintf "%s: missed=%d inside exact 99.9%% bounds [%d, %d]" name
+       missed lo hi)
+    true
+    (lo <= missed && missed <= hi);
+  (* decision time: fault-free FloodSet decides at the close of round t+1,
+     and the model's exact nanosecond count must match the simulator's. *)
+  let report = Report.make ~n ~t ~rounds ~loss ~latency ~sync in
+  let per_decision =
+    Option.get (B.to_int_opt (Q.num report.Report.decision_time_ns))
+  in
+  check "decision_time_ns is integral" true
+    (B.equal (Q.den report.Report.decision_time_ns) B.one);
+  check_int (name ^ ": all nonfaulty decided") (n * runs)
+    summary.Net.Net_stats.ns_decided_nonfaulty;
+  check_int
+    (name ^ ": decision ns sum = decided * model")
+    (n * runs * per_decision)
+    summary.Net.Net_stats.ns_decision_ns_sum
+
+let mc_settings =
+  [
+    (* retry budget of 1: A = 2, q = (1/4)^2 *)
+    ( "budget",
+      mc_case ~name:"budget" ~n:4 ~t:1 ~latency:(Net.Link.Const 0.25)
+        ~loss:(Q.of_ints 1 4) ~loss_float:0.25
+        ~sync:(sync ~d:8.0 ~rto:1.0 ~retries:1)
+        ~runs:300 ~seed:20260808 );
+    (* PR 6 boundary, window = 4 * rto: A = 4 (truncation would say 5),
+       q = (1/2)^4 — a wrong attempt count doubles the expected count and
+       lands far outside the 99.9% interval *)
+    ( "boundary",
+      mc_case ~name:"boundary" ~n:4 ~t:1 ~latency:(Net.Link.Const 0.25)
+        ~loss:(Q.of_ints 1 2) ~loss_float:0.5 ~sync:boundary_sync ~runs:300
+        ~seed:31337 );
+    (* no retries at all: the miss probability is the raw loss 3/8 *)
+    ( "no-retries",
+      mc_case ~name:"no-retries" ~n:4 ~t:1 ~latency:(Net.Link.Const 0.25)
+        ~loss:(Q.of_ints 3 8) ~loss_float:0.375
+        ~sync:(sync ~d:8.0 ~rto:1.0 ~retries:0)
+        ~runs:100 ~seed:4242 );
+    (* uniform latency crossing the last cutoff: q = (1/2)^3 * 3/4 *)
+    ( "uniform-tail",
+      mc_case ~name:"uniform-tail" ~n:4 ~t:1
+        ~latency:(Net.Link.Uniform (0.5, 1.5))
+        ~loss:(Q.of_ints 1 2) ~loss_float:0.5 ~sync:boundary_sync ~runs:200
+        ~seed:90210 );
+  ]
+
+let mc_tests =
+  List.concat_map
+    (fun (name, case) ->
+      [
+        slow (Printf.sprintf "MC differential (%s), jobs=1" name) (case ~jobs:1);
+        slow (Printf.sprintf "MC differential (%s), jobs=4" name) (case ~jobs:4);
+      ])
+    mc_settings
+
+(* --- golden probcheck reports --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_tests =
+  [
+    test "probcheck small report matches the committed golden JSON" (fun () ->
+        Alcotest.(check string) "probcheck_small.expected"
+          (read_file "golden/probcheck_small.expected")
+          (Eba.Json.to_string
+             (Report.to_json (Eba_harness.Probcheck_cases.small ()))));
+    slow "probcheck n=64 report matches the committed golden JSON" (fun () ->
+        Alcotest.(check string) "probcheck_n64.expected"
+          (read_file "golden/probcheck_n64.expected")
+          (Eba.Json.to_string
+             (Report.to_json (Eba_harness.Probcheck_cases.n64 ()))));
+  ]
+
+let suite =
+  ( "prob",
+    bigint_tests @ q_tests @ binomial_tests @ chain_tests @ mc_tests
+    @ golden_tests )
