@@ -217,6 +217,44 @@ let net_tests =
                      ~runs:1 ())));
        ]))
 
+(* --- multiplexed engine: the same seeded sweep through one shared event
+       loop, wave-sized arenas, batched const-latency deliveries.  The
+       summaries are bit-identical to the sequential rows; only the wall
+       clock differs, which is the whole point. --- *)
+
+let mux_params = Eba.Params.make ~n:16 ~t:5 ~horizon:6 ~mode:Eba.Params.Crash
+
+let mux_topology =
+  Eba.Net.Topology.make ~n:16
+    ~link:(Eba.Net.Link.make ~latency:(Eba.Net.Link.Const 1.0) ~loss:0.05)
+
+let mux_sweep ?mux ~runs () =
+  let sync = Eba.Net.Sync.default_for mux_topology in
+  ignore
+    (Eba.Net.Netsim.sweep ~jobs:1 ?mux
+       (module Eba.Floodset)
+       mux_params ~sync ~topology:mux_topology
+       ~dynamic:(Eba.Net.Inject.dynamic ~max_faulty:5 ())
+       ~seed:8128 ~runs)
+
+let mux_tests =
+  Test.make_grouped ~name:"mux"
+    ([
+       Test.make ~name:"netsim sweep FloodSet n=16 t=5 const x200 sequential"
+         (Staged.stage (fun () -> mux_sweep ~runs:200 ()));
+       Test.make ~name:"netsim sweep FloodSet n=16 t=5 const x200 mux live=16"
+         (Staged.stage (mux_sweep ~mux:16 ~runs:200));
+       Test.make ~name:"netsim sweep FloodSet n=16 t=5 const x200 mux live=64"
+         (Staged.stage (mux_sweep ~mux:64 ~runs:200));
+     ]
+    @
+    if !smoke then []
+    else
+      [
+        Test.make ~name:"netsim sweep FloodSet n=16 t=5 const x10000 mux live=16"
+          (Staged.stage (mux_sweep ~mux:16 ~runs:10_000));
+      ])
+
 (* --- builder scaling: naive vs shared at scales where sharing bites --- *)
 
 let build_heavy_tests =
@@ -470,6 +508,78 @@ let net_rows () =
   ]
   @ wide_rows
 
+(* Multiplexed-engine rows: each runs one seeded workload through BOTH
+   engines, wall-clocks them, and records the mux summary with throughput
+   (instances/sec) and the p99 decision latency.  The first row's workload
+   identity matches the first [net] row exactly, so CI can assert the two
+   engines' decision statistics agree within one artifact; the second is
+   the 10k-instance headline.  Timing keys (seq_ns, mux_ns,
+   instances_per_sec) are machine-dependent; everything under "summary"
+   and the p99 are exact. *)
+let mux_rows () =
+  let row (module P : Eba.Protocol_intf.PROTOCOL) ~params ~topology ~dynamic
+      ~seed ~runs ~live =
+    let sync = Eba.Net.Sync.default_for topology in
+    let timed f =
+      let t0 = monotonic_now () in
+      let x = f () in
+      (x, Int64.to_float (Int64.sub (monotonic_now ()) t0))
+    in
+    let seq, seq_ns =
+      timed (fun () ->
+          Eba.Net.Netsim.sweep (module P) params ~sync ~topology ~dynamic ~seed
+            ~runs)
+    in
+    let mux, mux_ns =
+      timed (fun () ->
+          Eba.Net.Netsim.sweep ~mux:live
+            (module P)
+            params ~sync ~topology ~dynamic ~seed ~runs)
+    in
+    if compare seq mux <> 0 then
+      failwith "mux_rows: engines disagree — the differential suite missed";
+    let p99 = Eba.Net.Net_stats.p99_decision_round mux in
+    Eba.Json.Obj
+      [
+        ("live", Eba.Json.Int live);
+        ("runs", Eba.Json.Int runs);
+        ("seq_ns", Eba.Json.Float seq_ns);
+        ("mux_ns", Eba.Json.Float mux_ns);
+        ( "instances_per_sec",
+          Eba.Json.Float (float_of_int runs *. 1e9 /. Float.max mux_ns 1.0) );
+        ( "p99_decision_ns",
+          Eba.Json.Int
+            (Eba.Net.Net_stats.ns_of_seconds
+               (float_of_int p99 *. sync.Eba.Net.Sync.round_duration)) );
+        ("summary", Eba.Net.Net_stats.summary_json mux);
+      ]
+  in
+  [
+    (* same identity as net row 0: the in-artifact cross-engine guard *)
+    (let topology = net_topology ~n:16 ~loss:0.1 in
+     let sync = Eba.Net.Sync.default_for topology in
+     row
+       (module Eba.Floodset)
+       ~params:(Eba.Params.make ~n:16 ~t:5 ~horizon:6 ~mode:Eba.Params.Crash)
+       ~topology
+       ~dynamic:
+         (Eba.Net.Inject.dynamic ~partitions:0
+            ~partition_span:(2.0 *. sync.Eba.Net.Sync.rto)
+            ~max_faulty:5 ())
+       ~seed:42
+       ~runs:(if !smoke then 5 else 25)
+       ~live:8);
+    (* the headline: 10k instances, constant-latency fabric (the batched
+       path), wave size at the measured throughput peak *)
+    row
+      (module Eba.Floodset)
+      ~params:mux_params ~topology:mux_topology
+      ~dynamic:(Eba.Net.Inject.dynamic ~max_faulty:5 ())
+      ~seed:8128
+      ~runs:(if !smoke then 300 else 10_000)
+      ~live:16;
+  ]
+
 (* Sampled lockstep sweeps, recorded with their full regeneration identity
    (seed, sample count, universe) via the library's [Stats.summary_json] —
    the superset of the fields this file used to assemble by hand, now
@@ -532,6 +642,7 @@ let write_json path =
         ("models", Eba.Json.List (List.map model_size_json fixture_models));
         ("build", Eba.Json.List (List.map build_entry_json (build_cases ())));
         ("net", Eba.Json.List (net_rows ()));
+        ("mux", Eba.Json.List (mux_rows ()));
         ("sampled", Eba.Json.List (sampled_rows ()));
         ("prob", Eba.Json.List (prob_rows ()));
         ("metrics", Eba.Json.Obj metrics);
@@ -547,6 +658,8 @@ let () =
   benchmark ~group:"runner" ~quota:0.5 runner_tests;
   print_endline "=== bechamel: network simulator ===";
   benchmark ~group:"net" ~quota:0.5 net_tests;
+  print_endline "=== bechamel: multiplexed engine ===";
+  benchmark ~group:"mux" ~quota:0.5 mux_tests;
   print_endline "=== bechamel: sweep engine, 1 domain vs N domains ===";
   benchmark ~group:"parallel" ~quota:1.0 parallel_tests;
   if not !smoke then begin

@@ -304,10 +304,22 @@ let netsim_cmd =
   in
   let runs_arg =
     Arg.(
-      value & opt int 100
+      value & opt (some int) None
       & info [ "runs" ] ~docv:"RUNS"
           ~doc:"Independent runs, each with a fresh random initial \
-                configuration and adversary.")
+                configuration and adversary (default 100; with $(b,--mux K), \
+                defaults to K).")
+  in
+  let mux_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "mux" ] ~docv:"K"
+          ~doc:
+            "Run the sweep through the multiplexed engine: $(docv) instances \
+             live concurrently in one event loop, recycled arena state, \
+             batched deliveries on constant-latency fabrics.  The summary is \
+             bit-identical to the sequential engine; also reports instances \
+             per second and the p99 decision latency.")
   in
   let rto_arg =
     Arg.(
@@ -362,7 +374,7 @@ let netsim_cmd =
              p0opt+ and chain0 only): identical decisions, fewer bytes on \
              the wire.")
   in
-  let run params name compact latency loss seed runs rto window retries
+  let run params name compact latency loss seed runs mux rto window retries
       omit_prob partitions span json =
     let* (module P : Eba.Protocol_intf.PROTOCOL) =
       if not compact then Ok ((List.assoc name protocols) params)
@@ -394,10 +406,29 @@ let netsim_cmd =
         ~partition_span:(Option.value span ~default:(2.0 *. rto))
         ~max_faulty:params.Eba.Params.t_failures ()
     in
-    let summary =
-      Net.Netsim.sweep (module P) params ~sync ~topology ~dynamic ~seed ~runs
+    let runs =
+      match (runs, mux) with
+      | Some r, _ -> r
+      | None, Some live -> live
+      | None, None -> 100
     in
+    let t0 = Monotonic_clock.now () in
+    let summary =
+      Net.Netsim.sweep ?mux (module P) params ~sync ~topology ~dynamic ~seed
+        ~runs
+    in
+    let elapsed = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
     Format.printf "%a@." Net.Net_stats.pp summary;
+    if Option.is_some mux then begin
+      let p99_round = Net.Net_stats.p99_decision_round summary in
+      Format.printf
+        "mux: %d instances in %.3fs (%.0f instances/sec), p99 decision \
+         latency %.1fs simulated (round %d)@."
+        runs elapsed
+        (float_of_int runs /. Float.max elapsed 1e-9)
+        (float_of_int p99_round *. sync.Net.Sync.round_duration)
+        p99_round
+    end;
     Option.iter
       (fun file -> Eba.Json.to_file file (Net.Net_stats.summary_json summary))
       json;
@@ -413,8 +444,8 @@ let netsim_cmd =
     Term.(
       term_result
         (const run $ params_term $ protocol_arg $ compact_arg $ latency_arg
-        $ loss_arg $ seed_arg $ runs_arg $ rto_arg $ window_arg $ retries_arg
-        $ omit_prob_arg $ partitions_arg $ span_arg $ json_arg))
+        $ loss_arg $ seed_arg $ runs_arg $ mux_arg $ rto_arg $ window_arg
+        $ retries_arg $ omit_prob_arg $ partitions_arg $ span_arg $ json_arg))
 
 let probcheck_cmd =
   let module Net = Eba.Net in

@@ -4,9 +4,10 @@ type 'a t = {
   mutable heap : 'a cell array;  (* heap.(0) unused when len = 0 *)
   mutable len : int;
   mutable next_seq : int;
+  mutable want : int;  (* requested capacity for the next allocation *)
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () = { heap = [||]; len = 0; next_seq = 0; want = 0 }
 
 let earlier a b =
   a.ev_time < b.ev_time || (a.ev_time = b.ev_time && a.ev_seq < b.ev_seq)
@@ -14,10 +15,31 @@ let earlier a b =
 let grow q cell =
   let cap = Array.length q.heap in
   if q.len = cap then begin
-    let heap = Array.make (max 16 (2 * cap)) cell in
+    let heap = Array.make (max q.want (max 16 (2 * cap))) cell in
+    q.want <- 0;
     Array.blit q.heap 0 heap 0 q.len;
     q.heap <- heap
   end
+
+let reserve q n =
+  if n < 0 then invalid_arg "Event_queue.reserve: negative capacity";
+  if n > Array.length q.heap then
+    if q.len = 0 then q.want <- max q.want n
+    else begin
+      (* 'a cell arrays need a seed element; any live cell works *)
+      let heap = Array.make n q.heap.(0) in
+      Array.blit q.heap 0 heap 0 q.len;
+      q.heap <- heap
+    end
+
+let clear q =
+  q.len <- 0;
+  q.next_seq <- 0
+
+let alloc_seq q =
+  let s = q.next_seq in
+  q.next_seq <- s + 1;
+  s
 
 let push q ~time payload =
   if not (Float.is_finite time) || time < 0.0 then
@@ -71,6 +93,12 @@ let pop q =
   end
 
 let peek_time q = if q.len = 0 then None else Some q.heap.(0).ev_time
+
+let peek q =
+  if q.len = 0 then None
+  else
+    let top = q.heap.(0) in
+    Some (top.ev_time, top.ev_seq)
 let is_empty q = q.len = 0
 let size q = q.len
 let pushed q = q.next_seq

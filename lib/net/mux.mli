@@ -1,0 +1,81 @@
+(** Massively multiplexed network simulation.
+
+    Runs many independent protocol instances — each with its own seed,
+    initial configuration and adversary plan, all sharing one topology and
+    synchronizer — through a {e single} event loop over one shared
+    {!Event_queue}.  Per-instance results are bit-identical to running
+    {!Netsim.Make.run_one} once per instance, because restricted to any one
+    instance the processing order (and hence that instance's rng draw
+    sequence) is exactly the sequential engine's:
+
+    - every event carries a sequence number from the one shared counter,
+      and the loop processes strictly in global [(time, seqno)] order;
+    - deterministic timers (round boundaries, retransmission ladders) live
+      in a {!Timer_wheel} over the precomputed shared tick schedule instead
+      of the heap, merged back by exact [(time, seqno)];
+    - on a uniform constant-latency fabric, all copies landing at one
+      (instance, instant) collapse into one batch cell and drain in append
+      order — a reordering only of provably commuting events;
+    - instance state (nodes, wire counters, timers, batch cells) recycles
+      through arenas across waves, so steady-state allocation per run is
+      near zero.
+
+    Cross-instance interleaving never leaks between instances: instances
+    share no mutable state, and the aggregate statistics are commutative
+    sums.  The wave partition is a pure function of [(runs, live)], so
+    sweeps are also independent of the parallel job count.
+
+    Deterministic metrics: [mux.timer_ticks], [mux.batched_deliveries],
+    [mux.arena_reuses] (counters) and [mux.live_instances] (peak gauge),
+    alongside the same [net.*] counters the sequential engine reports. *)
+
+module Params = Eba_sim.Params
+
+module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) : sig
+  type engine
+  (** The reusable arena: one timer wheel, one event queue, [live]
+      instance slots.  Create once, run any number of waves. *)
+
+  val create :
+    Params.t ->
+    sync:Sync.t ->
+    topology:Topology.t ->
+    plan:Inject.plan ->
+    live:int ->
+    engine
+  (** Validates like the sequential engine ({!Sync.check}, topology
+      width) and additionally requires the tick schedule to be strictly
+      increasing (it always is for sane [rto]/[round_duration]). *)
+
+  val run_wave :
+    engine ->
+    rng_of_run:(int -> Random.State.t) ->
+    first:int ->
+    count:int ->
+    consume:(int -> Net_stats.outcome -> unit) ->
+    unit
+  (** Run instances [first .. first + count - 1] ([1 <= count <= live])
+      concurrently through one event loop.  [rng_of_run run] must return
+      a fresh generator for that run index (e.g. {!Netsim.run_seed});
+      each instance draws its initial configuration and adversary from it
+      in the same order as {!Netsim.sweep}.  [consume] is called once per
+      instance in run order with an outcome bit-identical to the
+      sequential engine's; the outcome's wire record is recycled after
+      the callback returns, so consume it, don't keep it. *)
+
+  val sweep_state :
+    ?jobs:int ->
+    Params.t ->
+    sync:Sync.t ->
+    topology:Topology.t ->
+    dynamic:Inject.dynamic ->
+    rng_of_run:(int -> Random.State.t) ->
+    live:int ->
+    runs:int ->
+    Net_stats.state
+  (** [runs] instances in waves of [live], folded into one
+      {!Net_stats.state} — the mux counterpart of {!Netsim.sweep}'s
+      accumulation loop (the caller renders the summary, keeping identity
+      strings in one place).  Waves are distributed over [jobs] with one
+      engine per worker; the result is independent of [jobs]. *)
+end

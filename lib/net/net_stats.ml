@@ -3,6 +3,7 @@ module Runner = Eba_protocols.Runner
 module Json = Eba_util.Json
 
 let hist_buckets = 16
+let ns_of_seconds s = int_of_float ((s *. 1e9) +. 0.5)
 
 type wire = {
   mutable w_copies : int;
@@ -40,6 +41,23 @@ let fresh_wire () =
     w_latency_ns_max = 0;
     w_latency_hist = Array.make hist_buckets 0;
   }
+
+let wire_reset w =
+  w.w_copies <- 0;
+  w.w_retransmissions <- 0;
+  w.w_acks <- 0;
+  w.w_dropped_fault <- 0;
+  w.w_dropped_loss <- 0;
+  w.w_dropped_cut <- 0;
+  w.w_late <- 0;
+  w.w_duplicates <- 0;
+  w.w_to_dead <- 0;
+  w.w_data_bytes <- 0;
+  w.w_ack_bytes <- 0;
+  w.w_delivered_bytes <- 0;
+  w.w_latency_ns_sum <- 0;
+  w.w_latency_ns_max <- 0;
+  Array.fill w.w_latency_hist 0 hist_buckets 0
 
 let wire_merge into from =
   into.w_copies <- into.w_copies + from.w_copies;
@@ -83,6 +101,9 @@ type state = {
   mutable s_attempted : int;
   mutable s_delivered : int;
   mutable s_faulty_runs : int;
+  mutable s_round_hist : int array;
+      (* s_round_hist.(r) = nonfaulty decisions at round r; grown on
+         demand, trailing zeros allowed until summarized *)
   s_wire : wire;
 }
 
@@ -100,8 +121,18 @@ let fresh_state () =
     s_attempted = 0;
     s_delivered = 0;
     s_faulty_runs = 0;
+    s_round_hist = [||];
     s_wire = fresh_wire ();
   }
+
+let hist_incr st r =
+  let len = Array.length st.s_round_hist in
+  if r >= len then begin
+    let a = Array.make (max (r + 1) (2 * len)) 0 in
+    Array.blit st.s_round_hist 0 a 0 len;
+    st.s_round_hist <- a
+  end;
+  st.s_round_hist.(r) <- st.s_round_hist.(r) + 1
 
 let consume st o =
   st.s_runs <- st.s_runs + 1;
@@ -118,6 +149,7 @@ let consume st o =
         | Some { Runner.at; value } ->
             st.s_decided <- st.s_decided + 1;
             st.s_round_sum <- st.s_round_sum + at;
+            hist_incr st at;
             if at > st.s_round_max then st.s_round_max <- at;
             (match o.o_decision_sim_ns.(i) with
             | Some ns ->
@@ -147,6 +179,15 @@ let merge into from =
   into.s_attempted <- into.s_attempted + from.s_attempted;
   into.s_delivered <- into.s_delivered + from.s_delivered;
   into.s_faulty_runs <- into.s_faulty_runs + from.s_faulty_runs;
+  (let flen = Array.length from.s_round_hist in
+   if flen > Array.length into.s_round_hist then begin
+     let a = Array.make flen 0 in
+     Array.blit into.s_round_hist 0 a 0 (Array.length into.s_round_hist);
+     into.s_round_hist <- a
+   end;
+   Array.iteri
+     (fun r v -> into.s_round_hist.(r) <- into.s_round_hist.(r) + v)
+     from.s_round_hist);
   wire_merge into.s_wire from.s_wire
 
 type summary = {
@@ -171,9 +212,19 @@ type summary = {
   ns_delivered : int;
   ns_wire : wire;
   ns_faulty_runs : int;
+  ns_round_hist : int array;
 }
 
 let summary_of_state ~protocol ~params ~seed ~plan ~topology ~sync st =
+  (* canonical histogram: trimmed to the last nonzero bucket, so the
+     summary is bit-identical whatever growth pattern the merges took *)
+  let hist =
+    let len = ref (Array.length st.s_round_hist) in
+    while !len > 0 && st.s_round_hist.(!len - 1) = 0 do
+      decr len
+    done;
+    Array.sub st.s_round_hist 0 !len
+  in
   {
     ns_protocol = protocol;
     ns_params = params;
@@ -203,7 +254,26 @@ let summary_of_state ~protocol ~params ~seed ~plan ~topology ~sync st =
     ns_delivered = st.s_delivered;
     ns_wire = st.s_wire;
     ns_faulty_runs = st.s_faulty_runs;
+    ns_round_hist = hist;
   }
+
+let quantile_decision_round s ~permille =
+  if permille < 0 || permille > 1000 then
+    invalid_arg "Net_stats.quantile_decision_round: permille outside [0, 1000]";
+  if s.ns_decided_nonfaulty = 0 then 0
+  else begin
+    (* smallest round r with 1000 * cumulative(r) >= permille * decided —
+       exact integer arithmetic, no float rounding *)
+    let target = permille * s.ns_decided_nonfaulty in
+    let cum = ref 0 and r = ref 0 in
+    while !r < Array.length s.ns_round_hist && 1000 * !cum < target do
+      cum := !cum + s.ns_round_hist.(!r);
+      if 1000 * !cum < target then incr r
+    done;
+    !r
+  end
+
+let p99_decision_round s = quantile_decision_round s ~permille:990
 
 let pp fmt s =
   let w = s.ns_wire in
@@ -270,4 +340,7 @@ let summary_json s =
       ("latency_ns_sum", Json.Int w.w_latency_ns_sum);
       ("latency_ns_max", Json.Int w.w_latency_ns_max);
       ("latency_hist", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) w.w_latency_hist)));
+      ( "decision_round_hist",
+        Json.List (Array.to_list (Array.map (fun v -> Json.Int v) s.ns_round_hist)) );
+      ("p99_decision_round", Json.Int (p99_decision_round s));
     ]

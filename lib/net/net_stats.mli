@@ -13,6 +13,10 @@ module Value = Eba_sim.Value
 module Runner = Eba_protocols.Runner
 module Json = Eba_util.Json
 
+val ns_of_seconds : float -> int
+(** Round a simulated duration in seconds to integer nanoseconds — the
+    exact representation every accumulator uses. *)
+
 val hist_buckets : int
 (** Number of latency histogram buckets (copies binned by fraction of the
     round window: bucket [i] holds latencies in
@@ -42,6 +46,10 @@ type wire = {
 }
 
 val fresh_wire : unit -> wire
+
+val wire_reset : wire -> unit
+(** Zero every field in place (histogram included) — the arena-reuse hook
+    for engines that recycle one [wire] record across simulations. *)
 
 type outcome = {
   o_decisions : Runner.decision option array;
@@ -87,6 +95,11 @@ type summary = {
   ns_delivered : int;
   ns_wire : wire;
   ns_faulty_runs : int;  (** runs where the adversary made someone faulty *)
+  ns_round_hist : int array;
+      (** decision-round histogram over nonfaulty decided processors:
+          bucket [r] counts decisions whose [at] was round [r], trimmed to
+          the last nonzero bucket ([[||]] when nothing decided).  Exact
+          counts — the source of the latency quantiles. *)
 }
 
 val summary_of_state :
@@ -98,6 +111,17 @@ val summary_of_state :
   sync:string ->
   state ->
   summary
+
+val quantile_decision_round : summary -> permille:int -> int
+(** The smallest round [r] such that at least [permille / 1000] of the
+    nonfaulty decisions happened by round [r] (exact integer arithmetic);
+    [0] when nothing decided.  Raises [Invalid_argument] outside
+    [[0, 1000]]. *)
+
+val p99_decision_round : summary -> int
+(** [quantile_decision_round ~permille:990] — the headline tail-latency
+    round.  Decisions land exactly at round boundaries, so the simulated
+    p99 decision latency is this round times the sync round duration. *)
 
 val pp : Format.formatter -> summary -> unit
 

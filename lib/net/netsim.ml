@@ -30,7 +30,7 @@ let run_seed ~seed ~run =
   Random.State.make
     [| Int64.to_int a land max_int; Int64.to_int b land max_int |]
 
-let ns_of_seconds s = int_of_float ((s *. 1e9) +. 0.5)
+let ns_of_seconds = Net_stats.ns_of_seconds
 
 module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
   module N = Node.Make (P)
@@ -56,10 +56,10 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
         t_msg : P.msg;
       }
 
-  let run_one (params : Params.t) ~(sync : Sync.t) ~topology ~plan ~rng config =
-    Sync.check sync topology;
-    if Topology.n topology <> params.Params.n then
-      invalid_arg "Netsim: topology size does not match params";
+  (* [run_one] after validation — sweeps check the (sync, topology) pair
+     once up front rather than once per run *)
+  let run_prepared (params : Params.t) ~(sync : Sync.t) ~topology ~plan ~rng
+      config =
     let n = params.Params.n and horizon = params.Params.horizon in
     let d = sync.Sync.round_duration in
     let inj = Inject.compile rng params ~total_time:(float_of_int horizon *. d) plan in
@@ -262,6 +262,15 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
       o_wire = wire;
     }
 
+  let check (params : Params.t) ~sync ~topology =
+    Sync.check sync topology;
+    if Topology.n topology <> params.Params.n then
+      invalid_arg "Netsim: topology size does not match params"
+
+  let run_one (params : Params.t) ~sync ~topology ~plan ~rng config =
+    check params ~sync ~topology;
+    run_prepared params ~sync ~topology ~plan ~rng config
+
   let replay ?sync (params : Params.t) pattern config =
     let topology = lossless_topology ~n:params.Params.n in
     let sync = match sync with Some s -> s | None -> Sync.default_for topology in
@@ -271,27 +280,35 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
     run_one params ~sync ~topology ~plan:(Inject.Replay pattern) ~rng config
 end
 
-let sweep ?jobs (module P : Eba_protocols.Protocol_intf.PROTOCOL)
+let sweep ?jobs ?mux (module P : Eba_protocols.Protocol_intf.PROTOCOL)
     (params : Params.t) ~sync ~topology ~dynamic ~seed ~runs =
   let module E = Make (P) in
-  Sync.check sync topology;
+  E.check params ~sync ~topology;
   let n = params.Params.n in
-  let consume st run =
-    let rng = run_seed ~seed ~run in
-    let config =
-      Config.make
-        (Array.init n (fun _ ->
-             if Random.State.bool rng then Value.One else Value.Zero))
-    in
-    let outcome =
-      E.run_one params ~sync ~topology ~plan:(Inject.Dynamic dynamic) ~rng config
-    in
-    Net_stats.consume st outcome
-  in
+  let rng_of_run run = run_seed ~seed ~run in
   let st =
-    Parallel.map_reduce_seq ?jobs ~init:Net_stats.fresh_state ~fold:consume
-      ~merge:Net_stats.merge
-      (Seq.init runs Fun.id)
+    match mux with
+    | Some live ->
+        let module M = Mux.Make (P) in
+        M.sweep_state ?jobs params ~sync ~topology ~dynamic ~rng_of_run ~live
+          ~runs
+    | None ->
+        let consume st run =
+          let rng = rng_of_run run in
+          let config =
+            Config.make
+              (Array.init n (fun _ ->
+                   if Random.State.bool rng then Value.One else Value.Zero))
+          in
+          let outcome =
+            E.run_prepared params ~sync ~topology
+              ~plan:(Inject.Dynamic dynamic) ~rng config
+          in
+          Net_stats.consume st outcome
+        in
+        Parallel.map_reduce_seq ?jobs ~init:Net_stats.fresh_state
+          ~fold:consume ~merge:Net_stats.merge
+          (Seq.init runs Fun.id)
   in
   Net_stats.summary_of_state
     ~protocol:P.name

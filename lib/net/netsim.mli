@@ -53,6 +53,7 @@ end
 
 val sweep :
   ?jobs:int ->
+  ?mux:int ->
   (module Eba_protocols.Protocol_intf.PROTOCOL) ->
   Params.t ->
   sync:Sync.t ->
@@ -65,4 +66,9 @@ val sweep :
     random initial configuration and a freshly compiled dynamic adversary,
     distributed over [jobs] domains ({!Eba_util.Parallel}).  Per-run
     generators come from {!run_seed} and the accumulators are exact
-    integers, so the summary is bit-identical for every job count. *)
+    integers, so the summary is bit-identical for every job count.
+
+    [mux] routes the sweep through the multiplexed engine ({!Mux}) with
+    that many concurrently live instances per wave.  The summary is
+    bit-identical to the sequential path — same seeds, same outcomes,
+    same counters — the engines differ only in wall-clock. *)

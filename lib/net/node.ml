@@ -4,7 +4,7 @@ module Runner = Eba_protocols.Runner
 
 module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
   type t = {
-    nd_me : int;
+    mutable nd_me : int;
     mutable nd_state : P.state;
     mutable nd_round : int;
     mutable nd_closed : bool;  (* current round already fed to [receive] *)
@@ -44,6 +44,27 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
     in
     note_output node ~time:0 ~sim_time;
     node
+
+  let reset (params : Params.t) node ~me value ~sim_time =
+    let n = params.Params.n in
+    if Array.length node.nd_inbox <> n then begin
+      node.nd_inbox <- Array.make n None;
+      node.nd_got <- Array.make n false;
+      node.nd_acked <- Array.make n false
+    end
+    else begin
+      Array.fill node.nd_inbox 0 n None;
+      Array.fill node.nd_got 0 n false;
+      Array.fill node.nd_acked 0 n false
+    end;
+    node.nd_me <- me;
+    node.nd_state <- P.init params ~me value;
+    node.nd_round <- 0;
+    node.nd_closed <- true;
+    node.nd_bytes_in <- 0;
+    node.nd_decision <- None;
+    node.nd_decision_sim <- None;
+    note_output node ~time:0 ~sim_time
 
   let me node = node.nd_me
   let round node = node.nd_round

@@ -1,0 +1,60 @@
+(** A hierarchical-schedule timer wheel for the multiplexed engine.
+
+    When every simulated instance shares one synchronizer configuration,
+    all round boundaries and retransmission timers can only ever fire at a
+    {e fixed, precomputed} set of instants — the tick schedule.  The wheel
+    stores one append-ordered slot per tick, so arming a timer is an array
+    append and firing a slot drains it front to back: no heap sifts for
+    the (overwhelmingly common) deterministic timer events, leaving the
+    heap to latency-randomized deliveries.
+
+    Entries carry sequence numbers drawn from the same counter as the
+    event heap ({!Event_queue.alloc_seq}).  Appends to a slot happen in
+    processing order, so a slot's sequence numbers are strictly
+    increasing; draining front to back while merging against the heap by
+    exact [(time, seqno)] therefore reproduces the event order a pure-heap
+    schedule would have produced, bit for bit.
+
+    The cursor advances monotonically; {!reset} rewinds it and empties
+    every slot while keeping the slot arrays — the arena-reuse hook for
+    running many simulation waves through one wheel. *)
+
+type 'a t
+
+val create : times:float array -> 'a t
+(** [create ~times] builds a wheel over the given tick schedule.  Raises
+    [Invalid_argument] unless [times] is strictly increasing, finite and
+    non-negative.  The array is copied. *)
+
+val nticks : 'a t -> int
+val time : 'a t -> int -> float
+(** The instant of a tick index. *)
+
+val index_of_time : 'a t -> float -> int option
+(** Exact binary search for a tick at precisely this float instant —
+    [None] when the instant is not a tick.  Fire times computed by the
+    same float arithmetic as the schedule always hit. *)
+
+val cursor : 'a t -> int
+(** The slot currently draining; [nticks] once the wheel is exhausted. *)
+
+val schedule : 'a t -> tick:int -> seq:int -> 'a -> unit
+(** Append an entry to a slot.  Raises [Invalid_argument] for a slot
+    before the cursor or past the end. *)
+
+val peek : 'a t -> (float * int) option
+(** The cursor slot's next undrained entry as [(time, seqno)]; [None]
+    when the cursor slot is drained (other slots may still hold
+    entries — advancing is the caller's scheduling decision). *)
+
+val take : 'a t -> 'a
+(** Remove and return the cursor slot's next entry.  Raises
+    [Invalid_argument] when {!peek} is [None]. *)
+
+val advance : 'a t -> unit
+(** Move the cursor to the next slot.  Raises [Invalid_argument] unless
+    the current slot is fully drained. *)
+
+val reset : 'a t -> unit
+(** Empty every slot and rewind the cursor, keeping allocated slot
+    capacity. *)

@@ -19,6 +19,8 @@ let with_link t ~src ~dst link =
 
 let n t = t.top_n
 
+let uniform_link t = match t.overrides with [] -> Some t.default | _ -> None
+
 let link t ~src ~dst =
   check_edge t ~src ~dst;
   match List.assoc_opt (src, dst) t.overrides with

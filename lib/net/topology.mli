@@ -17,6 +17,11 @@ val with_link : t -> src:int -> dst:int -> Link.t -> t
 val n : t -> int
 val link : t -> src:int -> dst:int -> Link.t
 
+val uniform_link : t -> Link.t option
+(** The one link every pair shares, when no override was applied — the
+    condition under which the mux engine may batch same-instant arrivals
+    (a single latency model governs every copy). *)
+
 val latency_bound : t -> float
 (** The largest {!Link.latency_bound} over every link — what the
     synchronizer validates its round timing against. *)

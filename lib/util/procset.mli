@@ -9,7 +9,9 @@
     those protocols use into a signature {!S} with two implementations:
 
     - {!Word} — {!Bitset} itself: the int-backed fast path, widths ≤ 62;
-    - {!Wide} — a canonical [int array] of 62-bit limbs: any width.
+    - {!Wide} — a canonical [Bytes.t] of 62-bit limbs (8 native-endian
+      bytes each, accessed through the compiler's unchecked 64-bit
+      load/store primitives): any width, flat unboxed storage.
 
     The two agree observationally wherever both are defined: for every
     operation and every width ≤ 62, [Word] and [Wide] produce equal sets

@@ -1,0 +1,353 @@
+(* The multiplexed engine's load-bearing property: running N instances
+   through one shared event loop is invisible.  Per-instance outcomes —
+   decisions, decision instants, wire counters, rng-driven drop/latency
+   draws — are bit-identical to running the sequential engine once per
+   instance with the same (seed, run) generators, across every operational
+   protocol and its compact variants, on both the batched (uniform
+   constant-latency) and heap (randomized-latency, heterogeneous,
+   zero-latency) paths, and independent of the parallel job count.
+
+   Plus the satellite regressions: event-queue push/pop order pinned
+   across growth boundaries and reserve/clear, timer-wheel slot
+   semantics, the mux.* metrics counters, and the decision-round
+   quantiles feeding the p99 headline number. *)
+
+module Net = Eba.Net
+module EQ = Net.Event_queue
+module TW = Net.Timer_wheel
+module Metrics = Eba.Metrics
+open Helpers
+
+let all_protocols : (string * (module Eba.Protocol_intf.PROTOCOL)) list =
+  [
+    ("P0", (module Eba.P0.P0));
+    ("P0opt", (module Eba.P0opt));
+    ("P0opt+", (module Eba.P0opt_plus));
+    ("FloodSet", (module Eba.Floodset));
+    ("Chain0", (module Eba.Chain0));
+    ("P0opt-delta", (module Eba.P0opt_delta));
+    ("P0opt+delta", (module Eba.P0opt_plus_delta));
+    ("Chain0-cert", (module Eba.Chain0_cert));
+  ]
+
+(* --- event queue: growth boundaries, reserve, clear --- *)
+
+let eq_growth_tests =
+  [
+    test "push/pop order pinned across growth boundaries" (fun () ->
+        (* interleave duplicate and descending times so every growth
+           boundary (16, 32, 64, 128) happens mid-tie; stable (time,
+           seqno) order must survive the reallocation *)
+        let q = EQ.create () in
+        let items = List.init 200 (fun i -> (float_of_int ((i * 7) mod 13), i)) in
+        List.iter (fun (t, i) -> EQ.push q ~time:t (t, i)) items;
+        let rec drain acc =
+          match EQ.pop q with None -> List.rev acc | Some (_, x) -> drain (x :: acc)
+        in
+        let expected =
+          List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) items
+        in
+        check "stable across growth" true (drain [] = expected));
+    test "reserve on an empty queue sizes the next allocation" (fun () ->
+        let q = EQ.create () in
+        EQ.reserve q 500;
+        List.iter (fun i -> EQ.push q ~time:(float_of_int (i mod 7)) i)
+          (List.init 400 Fun.id);
+        let rec drain acc =
+          match EQ.pop q with None -> List.rev acc | Some (_, x) -> drain (x :: acc)
+        in
+        let expected =
+          List.stable_sort
+            (fun a b -> compare (a mod 7) (b mod 7))
+            (List.init 400 Fun.id)
+        in
+        check "order with reserve" true (drain [] = expected));
+    test "reserve grows a live queue in place" (fun () ->
+        let q = EQ.create () in
+        List.iter (fun i -> EQ.push q ~time:(float_of_int i) i) (List.init 10 Fun.id);
+        EQ.reserve q 1000;
+        List.iter
+          (fun i -> EQ.push q ~time:(float_of_int i) i)
+          (List.init 10 (fun i -> i + 10));
+        let rec drain acc =
+          match EQ.pop q with None -> List.rev acc | Some (_, x) -> drain (x :: acc)
+        in
+        check "content preserved" true (drain [] = List.init 20 Fun.id);
+        check "reject negative" true
+          (try
+             EQ.reserve q (-1);
+             false
+           with Invalid_argument _ -> true));
+    test "clear rewinds the shared sequence counter" (fun () ->
+        let q = EQ.create () in
+        EQ.push q ~time:1.0 "x";
+        ignore (EQ.alloc_seq q);
+        EQ.clear q;
+        check_int "seq restarts" 0 (EQ.alloc_seq q);
+        check "emptied" true (EQ.is_empty q));
+    test "peek agrees with pop" (fun () ->
+        let q = EQ.create () in
+        EQ.push q ~time:2.0 "b";
+        EQ.push q ~time:1.0 "a";
+        (match EQ.peek q with
+        | Some (t, s) ->
+            check "peek time" true (t = 1.0);
+            check_int "peek seq" 1 s
+        | None -> Alcotest.fail "peek on non-empty");
+        ignore (EQ.pop q);
+        ignore (EQ.pop q);
+        check "peek empty" true (EQ.peek q = None));
+  ]
+
+(* --- timer wheel --- *)
+
+let wheel_tests =
+  [
+    test "create validates the tick schedule" (fun () ->
+        List.iter
+          (fun times ->
+            check "reject" true
+              (try
+                 ignore (TW.create ~times);
+                 false
+               with Invalid_argument _ -> true))
+          [ [| 1.0; 1.0 |]; [| 2.0; 1.0 |]; [| -1.0 |]; [| Float.nan |] ]);
+    test "slots drain in append order and merge keys are exact" (fun () ->
+        let w = TW.create ~times:[| 0.0; 1.5; 3.0 |] in
+        check "exact hit" true (TW.index_of_time w 1.5 = Some 1);
+        check "miss" true (TW.index_of_time w 1.4999 = None);
+        TW.schedule w ~tick:1 ~seq:7 "a";
+        TW.schedule w ~tick:1 ~seq:9 "b";
+        check "cursor slot empty" true (TW.peek w = None);
+        TW.advance w;
+        check "peek head" true (TW.peek w = Some (1.5, 7));
+        Alcotest.(check string) "take order" "a" (TW.take w);
+        Alcotest.(check string) "take order" "b" (TW.take w);
+        check "drained" true (TW.peek w = None);
+        check "advance requires drained" true
+          (try
+             TW.schedule w ~tick:0 ~seq:1 "late";
+             false
+           with Invalid_argument _ -> true);
+        TW.advance w;
+        TW.advance w;
+        check_int "exhausted" 3 (TW.cursor w));
+    test "reset rewinds and keeps capacity" (fun () ->
+        let w = TW.create ~times:[| 0.0; 1.0 |] in
+        for i = 0 to 20 do
+          TW.schedule w ~tick:1 ~seq:i i
+        done;
+        TW.reset w;
+        check_int "rewound" 0 (TW.cursor w);
+        TW.advance w;
+        check "slots emptied" true (TW.peek w = None));
+  ]
+
+(* --- per-instance bit-identity against the sequential engine --- *)
+
+let crash_params ~n ~t = Eba.Params.make ~n ~t ~horizon:(t + 1) ~mode:Eba.Params.Crash
+
+(* the sequential side of the differential: replicates Netsim.sweep's
+   per-run draw order exactly *)
+let sequential_outcomes (module P : Eba.Protocol_intf.PROTOCOL) params ~sync
+    ~topology ~plan ~seed ~runs =
+  let module S = Net.Netsim.Make (P) in
+  let n = params.Eba.Params.n in
+  Array.init runs (fun run ->
+      let rng = Net.Netsim.run_seed ~seed ~run in
+      let config =
+        Eba.Config.make
+          (Array.init n (fun _ ->
+               if Random.State.bool rng then Eba.Value.One else Eba.Value.Zero))
+      in
+      S.run_one params ~sync ~topology ~plan ~rng config)
+
+let mux_matches (module P : Eba.Protocol_intf.PROTOCOL) params ?sync ~topology
+    ~dynamic ~seed ~live ~runs () =
+  let sync =
+    match sync with Some s -> s | None -> Net.Sync.default_for topology
+  in
+  let plan = Net.Inject.Dynamic dynamic in
+  let seq =
+    sequential_outcomes (module P) params ~sync ~topology ~plan ~seed ~runs
+  in
+  let module M = Net.Mux.Make (P) in
+  let eng = M.create params ~sync ~topology ~plan ~live in
+  let compared = ref 0 in
+  let rec waves first =
+    if first < runs then begin
+      let count = min live (runs - first) in
+      M.run_wave eng
+        ~rng_of_run:(fun run -> Net.Netsim.run_seed ~seed ~run)
+        ~first ~count
+        ~consume:(fun run o ->
+          incr compared;
+          if compare seq.(run) o <> 0 then
+            Alcotest.failf "run %d: mux outcome differs from sequential" run);
+      waves (first + count)
+    end
+  in
+  waves 0;
+  check_int "every run compared" runs !compared
+
+let const_topology ~n ~loss =
+  Net.Topology.make ~n ~link:(Net.Link.make ~latency:(Net.Link.Const 1.0) ~loss)
+
+let uniform_topology ~n ~loss =
+  Net.Topology.make ~n
+    ~link:(Net.Link.make ~latency:(Net.Link.Uniform (0.2, 1.0)) ~loss)
+
+let identity_tests =
+  List.concat_map
+    (fun (name, p) ->
+      let params = crash_params ~n:6 ~t:2 in
+      [
+        test
+          (Printf.sprintf "%s: mux = sequential, const latency (batched path)" name)
+          (mux_matches p params
+             ~topology:(const_topology ~n:6 ~loss:0.1)
+             ~dynamic:(Net.Inject.dynamic ~max_faulty:2 ())
+             ~seed:42 ~live:4 ~runs:7);
+        test
+          (Printf.sprintf "%s: mux = sequential, uniform latency (heap path)" name)
+          (mux_matches p params
+             ~topology:(uniform_topology ~n:6 ~loss:0.1)
+             ~dynamic:(Net.Inject.dynamic ~max_faulty:2 ())
+             ~seed:1729 ~live:4 ~runs:7);
+      ])
+    all_protocols
+
+let corner_tests =
+  [
+    test "tie corner: rto = link latency, deliveries land exactly on ticks"
+      (* every arrival instant is also a retry tick, so nothing batches
+         and the wheel-vs-heap merge resolves every collision by seqno *)
+      (mux_matches
+         (module Eba.Floodset)
+         (crash_params ~n:5 ~t:2)
+         ~sync:(Net.Sync.make ~round_duration:8.0 ~rto:1.0 ~max_retries:7)
+         ~topology:(const_topology ~n:5 ~loss:0.3)
+         ~dynamic:(Net.Inject.dynamic ~max_faulty:2 ())
+         ~seed:7 ~live:3 ~runs:6);
+    test "zero-latency links: arrival = now falls back to the heap"
+      (mux_matches
+         (module Eba.Floodset)
+         (crash_params ~n:4 ~t:1)
+         ~sync:(Net.Sync.make ~round_duration:4.0 ~rto:1.0 ~max_retries:3)
+         ~topology:
+           (Net.Topology.make ~n:4
+              ~link:(Net.Link.make ~latency:(Net.Link.Const 0.0) ~loss:0.2))
+         ~dynamic:(Net.Inject.dynamic ~max_faulty:1 ())
+         ~seed:11 ~live:4 ~runs:5);
+    test "heterogeneous override disables batching, not correctness"
+      (mux_matches
+         (module Eba.Floodset)
+         (crash_params ~n:5 ~t:1)
+         ~topology:
+           (Net.Topology.with_link (const_topology ~n:5 ~loss:0.1) ~src:0 ~dst:1
+              (Net.Link.make ~latency:(Net.Link.Const 2.0) ~loss:0.5))
+         ~dynamic:(Net.Inject.dynamic ~max_faulty:1 ())
+         ~seed:23 ~live:3 ~runs:5);
+    test "omissions and partitions under mux"
+      (mux_matches
+         (module Eba.Floodset)
+         (Eba.Params.make ~n:6 ~t:2 ~horizon:3 ~mode:Eba.Params.Omission)
+         ~topology:(const_topology ~n:6 ~loss:0.0)
+         ~dynamic:
+           (Net.Inject.dynamic ~max_faulty:2 ~omit_prob:0.3 ~partitions:2
+              ~partition_span:2.0 ())
+         ~seed:99 ~live:4 ~runs:8);
+    test "single-instance waves degenerate to the sequential engine"
+      (mux_matches
+         (module Eba.Chain0)
+         (crash_params ~n:4 ~t:1)
+         ~topology:(uniform_topology ~n:4 ~loss:0.05)
+         ~dynamic:(Net.Inject.dynamic ~max_faulty:1 ())
+         ~seed:5 ~live:1 ~runs:4);
+  ]
+
+(* --- sweep-level equality and jobs-independence --- *)
+
+let sweep_of ~jobs ?mux ~seed ~runs ~n ~t topology =
+  let params = crash_params ~n ~t in
+  let sync = Net.Sync.default_for topology in
+  Net.Netsim.sweep ~jobs ?mux
+    (module Eba.Floodset)
+    params ~sync ~topology
+    ~dynamic:(Net.Inject.dynamic ~max_faulty:t ())
+    ~seed ~runs
+
+let sweep_tests =
+  [
+    qtest ~count:6 "qcheck: sweep ~mux summary = sequential sweep, jobs 1 and 4"
+      QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 3))
+      (fun (seed, t) ->
+        let topology = uniform_topology ~n:8 ~loss:0.1 in
+        let s = sweep_of ~jobs:1 ~seed ~runs:11 ~n:8 ~t topology in
+        compare s (sweep_of ~jobs:1 ~mux:4 ~seed ~runs:11 ~n:8 ~t topology) = 0
+        && compare s (sweep_of ~jobs:4 ~mux:4 ~seed ~runs:11 ~n:8 ~t topology) = 0);
+    test "batched path: mux sweep summary = sequential (multi-wave, partial last)"
+      (fun () ->
+        let topology = const_topology ~n:8 ~loss:0.05 in
+        let s = sweep_of ~jobs:1 ~seed:2026 ~runs:10 ~n:8 ~t:2 topology in
+        check "mux 3 (4 waves)" true
+          (compare s (sweep_of ~jobs:1 ~mux:3 ~seed:2026 ~runs:10 ~n:8 ~t:2 topology)
+          = 0);
+        check "mux larger than runs" true
+          (compare s
+             (sweep_of ~jobs:1 ~mux:64 ~seed:2026 ~runs:10 ~n:8 ~t:2 topology)
+          = 0));
+  ]
+
+(* --- decision-round quantiles (the p99 headline) --- *)
+
+let quantile_tests =
+  [
+    test "decision-round histogram sums to decided and quantiles are monotone"
+      (fun () ->
+        let s =
+          sweep_of ~jobs:1 ~seed:1 ~runs:12 ~n:8 ~t:3
+            (uniform_topology ~n:8 ~loss:0.1)
+        in
+        let hist_sum = Array.fold_left ( + ) 0 s.Net.Net_stats.ns_round_hist in
+        check_int "hist mass" s.Net.Net_stats.ns_decided_nonfaulty hist_sum;
+        let q p = Net.Net_stats.quantile_decision_round s ~permille:p in
+        check "monotone" true (q 500 <= q 990 && q 990 <= q 1000);
+        check_int "p99 = permille 990" (q 990) (Net.Net_stats.p99_decision_round s);
+        check "p99 within horizon" true (q 990 >= 1 && q 990 <= 4));
+  ]
+
+(* --- mux metrics --- *)
+
+let metrics_tests =
+  [
+    test "mux.* counters fire and match across job counts" (fun () ->
+        let was = Metrics.enabled () in
+        Fun.protect
+          ~finally:(fun () -> Metrics.set_enabled was)
+          (fun () ->
+            Metrics.set_enabled true;
+            let run ~jobs =
+              Metrics.reset ();
+              ignore
+                (sweep_of ~jobs ~mux:4 ~seed:3 ~runs:10 ~n:8 ~t:2
+                   (const_topology ~n:8 ~loss:0.05));
+              Metrics.deterministic_counters ()
+            in
+            let c1 = run ~jobs:1 in
+            let value name =
+              match List.assoc_opt name c1 with Some v -> v | None -> 0
+            in
+            check "timer ticks" true (value "mux.timer_ticks" > 0);
+            check "batched deliveries" true (value "mux.batched_deliveries" > 0);
+            check "arena reuses" true (value "mux.arena_reuses" > 0);
+            check_int "peak live instances" 4 (value "mux.live_instances");
+            check_int "runs counted once" 10 (value "net.runs_simulated");
+            check "jobs-independent" true (run ~jobs:4 = c1)));
+  ]
+
+let tests =
+  eq_growth_tests @ wheel_tests @ identity_tests @ corner_tests @ sweep_tests
+  @ quantile_tests @ metrics_tests
+
+let suite = ("mux", tests)
