@@ -604,6 +604,31 @@ let prob_rows () =
     Eba.Prob.Report.to_json (Eba_harness.Probcheck_cases.n64 ());
   ]
 
+(* Served-request latency: an in-process daemon on an ephemeral loopback
+   port, concurrent synchronous clients, wall latency per request.  These
+   are measured numbers (machine-dependent), recorded for trend tracking
+   like the timing entries — the ratchet only checks the section's shape.
+   One contended row (more clients than workers) and one matched row. *)
+let serve_rows () =
+  let clients_requests = if !smoke then (4, 5) else (8, 50) in
+  let clients, requests = clients_requests in
+  [
+    Eba.Server.Bench_load.result_json
+      (Eba.Server.Bench_load.run_local ~workers:2 ~queue_cap:64 ~clients
+         ~requests ~verb:"netsim-sweep"
+         ~params:
+           [
+             ("protocol", Eba.Json.String "floodset");
+             ("n", Eba.Json.Int 4);
+             ("t", Eba.Json.Int 1);
+             ("runs", Eba.Json.Int 10);
+           ]
+         ());
+    Eba.Server.Bench_load.result_json
+      (Eba.Server.Bench_load.run_local ~workers:clients ~queue_cap:64 ~clients
+         ~requests ~verb:"status" ~params:[] ());
+  ]
+
 let write_json path =
   let entries =
     List.map
@@ -645,6 +670,7 @@ let write_json path =
         ("mux", Eba.Json.List (mux_rows ()));
         ("sampled", Eba.Json.List (sampled_rows ()));
         ("prob", Eba.Json.List (prob_rows ()));
+        ("serve", Eba.Json.List (serve_rows ()));
         ("metrics", Eba.Json.Obj metrics);
       ]
   in

@@ -243,33 +243,13 @@ let latency_conv =
 
 let netsim_cmd =
   let module Net = Eba.Net in
-  (* The operational protocols the simulator can drive.  Each entry is a
-     selector from the run parameters: the set-carrying protocols (p0opt,
-     p0opt+, chain0) pick their word-backed instance at n <= 62 and the
-     wide (limb-array) one beyond, so every protocol runs at any n. *)
-  let protocols :
-      (string * (Eba.Params.t -> (module Eba.Protocol_intf.PROTOCOL))) list =
-    [
-      ("p0", fun _ -> (module Eba.P0.P0));
-      ("p1", fun _ -> (module Eba.P0.P1));
-      ("p0opt", Eba.P0opt.for_params);
-      ("p0opt+", Eba.P0opt_plus.for_params);
-      ("floodset", (fun _ -> (module Eba.Floodset)));
-      ("chain0", Eba.Chain0.for_params);
-    ]
-  in
-  (* The bounded-bandwidth variant of each protocol that has one: same
-     decisions at every processor and round, strictly fewer bytes. *)
-  let compact_protocols :
-      (string * (Eba.Params.t -> (module Eba.Protocol_intf.PROTOCOL))) list =
-    [
-      ("p0opt", Eba.P0opt_delta.for_params);
-      ("p0opt+", Eba.P0opt_plus_delta.for_params);
-      ("chain0", Eba.Chain0_cert.for_params);
-    ]
-  in
+  (* Flags are only collected here; their interpretation — protocol
+     selector tables, derived sync timing, runs/mux defaulting — lives in
+     [Eba.Server.Spec], shared verbatim with the daemon so a served
+     sweep is byte-identical to this command's JSON. *)
+  let module Spec = Eba.Server.Spec in
   let protocol_arg =
-    let names = List.map (fun (name, _) -> (name, name)) protocols in
+    let names = List.map (fun name -> (name, name)) Spec.protocol_names in
     Arg.(
       value
       & opt (enum names) "floodset"
@@ -310,15 +290,35 @@ let netsim_cmd =
                 configuration and adversary (default 100; with $(b,--mux K), \
                 defaults to K).")
   in
+  let mux_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "auto" -> Ok Spec.Mux_auto
+      | "off" -> Ok Spec.Mux_off
+      | s -> (
+          match int_of_string_opt s with
+          | Some k when k >= 1 -> Ok (Spec.Mux_live k)
+          | Some _ -> Error (`Msg "--mux: wave size must be >= 1")
+          | None -> Error (`Msg "--mux: expected auto, off or a wave size"))
+    in
+    let print fmt = function
+      | Spec.Mux_off -> Format.pp_print_string fmt "off"
+      | Spec.Mux_auto -> Format.pp_print_string fmt "auto"
+      | Spec.Mux_live k -> Format.pp_print_int fmt k
+    in
+    Arg.conv (parse, print)
+  in
   let mux_arg =
     Arg.(
-      value & opt (some int) None
+      value & opt mux_conv Spec.Mux_off
       & info [ "mux" ] ~docv:"K"
           ~doc:
             "Run the sweep through the multiplexed engine: $(docv) instances \
              live concurrently in one event loop, recycled arena state, \
-             batched deliveries on constant-latency fabrics.  The summary is \
-             bit-identical to the sequential engine; also reports instances \
+             batched deliveries on constant-latency fabrics.  $(b,auto) \
+             picks the measured-throughput-peak wave size (16, clamped to \
+             the run count).  The summary is bit-identical to the \
+             sequential engine for every wave size; also reports instances \
              per second and the p99 decision latency.")
   in
   let rto_arg =
@@ -376,59 +376,48 @@ let netsim_cmd =
   in
   let run params name compact latency loss seed runs mux rto window retries
       omit_prob partitions span json =
-    let* (module P : Eba.Protocol_intf.PROTOCOL) =
-      if not compact then Ok ((List.assoc name protocols) params)
-      else
-        match List.assoc_opt name compact_protocols with
-        | Some select -> Ok (select params)
-        | None ->
-            Error
-              (`Msg
-                 (Printf.sprintf
-                    "--compact: no bounded-bandwidth variant of %s (have: %s)"
-                    name
-                    (String.concat ", " (List.map fst compact_protocols))))
+    let spec =
+      {
+        Spec.default with
+        protocol = name;
+        compact;
+        n = params.Eba.Params.n;
+        t_failures = params.Eba.Params.t_failures;
+        horizon = params.Eba.Params.horizon;
+        mode = params.Eba.Params.mode;
+        latency;
+        loss;
+        seed;
+        runs;
+        mux;
+        rto;
+        round_duration = window;
+        retries;
+        omit_prob;
+        partitions;
+        partition_span = span;
+      }
     in
-    let topology =
-      Net.Topology.make ~n:params.Eba.Params.n
-        ~link:(Net.Link.make ~latency ~loss)
-    in
-    let dflt = Net.Sync.default_for topology in
-    let rto = Option.value rto ~default:dflt.Net.Sync.rto in
-    let sync =
-      Net.Sync.make
-        ~round_duration:(Option.value window ~default:(8.0 *. rto))
-        ~rto
-        ~max_retries:(Option.value retries ~default:dflt.Net.Sync.max_retries)
-    in
-    let dynamic =
-      Net.Inject.dynamic ~omit_prob ~partitions
-        ~partition_span:(Option.value span ~default:(2.0 *. rto))
-        ~max_faulty:params.Eba.Params.t_failures ()
-    in
-    let runs =
-      match (runs, mux) with
-      | Some r, _ -> r
-      | None, Some live -> live
-      | None, None -> 100
+    let* resolved =
+      match Spec.resolve spec with Ok r -> Ok r | Error m -> Error (`Msg m)
     in
     let t0 = Monotonic_clock.now () in
-    let summary =
-      Net.Netsim.sweep ?mux (module P) params ~sync ~topology ~dynamic ~seed
-        ~runs
-    in
+    let summary = Spec.run resolved in
     let elapsed = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
     Format.printf "%a@." Net.Net_stats.pp summary;
-    if Option.is_some mux then begin
-      let p99_round = Net.Net_stats.p99_decision_round summary in
-      Format.printf
-        "mux: %d instances in %.3fs (%.0f instances/sec), p99 decision \
-         latency %.1fs simulated (round %d)@."
-        runs elapsed
-        (float_of_int runs /. Float.max elapsed 1e-9)
-        (float_of_int p99_round *. sync.Net.Sync.round_duration)
-        p99_round
-    end;
+    (match resolved.Spec.r_mux with
+    | None -> ()
+    | Some live ->
+        let runs = resolved.Spec.r_runs in
+        let p99_round = Net.Net_stats.p99_decision_round summary in
+        Format.printf
+          "mux: %d instances (waves of %d) in %.3fs (%.0f instances/sec), \
+           p99 decision latency %.1fs simulated (round %d)@."
+          runs live elapsed
+          (float_of_int runs /. Float.max elapsed 1e-9)
+          (float_of_int p99_round
+          *. resolved.Spec.r_sync.Net.Sync.round_duration)
+          p99_round);
     Option.iter
       (fun file -> Eba.Json.to_file file (Net.Net_stats.summary_json summary))
       json;
@@ -500,30 +489,23 @@ let probcheck_cmd =
           ~doc:"Also write the report as an eba-prob/1 JSON object.")
   in
   let run n t rounds latency loss rto window retries json =
-    let* loss =
-      match Prob.Q.of_decimal_string loss with
-      | q -> Ok q
-      | exception Invalid_argument msg -> Error (`Msg msg)
+    (* Same shared interpretation as the daemon's [probcheck] verb. *)
+    let spec =
+      {
+        Eba.Server.Spec.Probcheck.n;
+        t_failures = t;
+        rounds;
+        latency;
+        loss;
+        rto;
+        round_duration = window;
+        retries;
+      }
     in
-    let topology =
-      Net.Topology.make ~n ~link:(Net.Link.make ~latency ~loss:0.0)
-    in
-    let dflt = Net.Sync.default_for topology in
-    let rto = Option.value rto ~default:dflt.Net.Sync.rto in
     let* report =
-      match
-        let sync =
-          Net.Sync.make
-            ~round_duration:(Option.value window ~default:(8.0 *. rto))
-            ~rto
-            ~max_retries:(Option.value retries ~default:dflt.Net.Sync.max_retries)
-        in
-        Prob.Report.make ~n ~t
-          ~rounds:(Option.value rounds ~default:(t + 1))
-          ~loss ~latency ~sync
-      with
-      | report -> Ok report
-      | exception Invalid_argument msg -> Error (`Msg msg)
+      match Eba.Server.Spec.Probcheck.report spec with
+      | Ok r -> Ok r
+      | Error msg -> Error (`Msg msg)
     in
     print_string (Prob.Report.to_text report);
     Option.iter
@@ -545,6 +527,159 @@ let probcheck_cmd =
         (const run $ n_arg $ t_arg $ rounds_arg $ latency_arg $ loss_arg
         $ rto_arg $ window_arg $ retries_arg $ json_arg))
 
+(* --- the resident agreement service --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve on a Unix-domain socket at $(docv).  A stale socket file \
+           left by a killed daemon is detected (probe connect) and \
+           replaced; a live one is refused.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Serve on loopback TCP port $(docv) (0 picks an ephemeral one).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"J"
+        ~doc:
+          "Worker domains executing requests.  Replies are bit-identical \
+           for every value; 0 accepts but never executes (testing).")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Bounded request-queue slots; an arriving request that finds \
+           the queue full gets the typed $(b,busy) reply immediately.")
+
+let address_of ~socket ~port =
+  match (socket, port) with
+  | Some path, None -> Ok (Eba.Server.Frame.Unix_socket path)
+  | None, Some port -> Ok (Eba.Server.Frame.Tcp port)
+  | None, None -> Error (`Msg "one of --socket PATH or --port P is required")
+  | Some _, Some _ -> Error (`Msg "--socket and --port are mutually exclusive")
+
+let serve_cmd =
+  let run () () socket port workers queue_cap =
+    let* address = address_of ~socket ~port in
+    if workers < 0 then Error (`Msg "--workers must be >= 0")
+    else if queue_cap < 1 then Error (`Msg "--queue-cap must be >= 1")
+    else begin
+      let cfg =
+        {
+          Eba.Server.Daemon.address;
+          workers;
+          queue_cap;
+          max_frame = Eba.Server.Frame.default_max_frame;
+          handle_signals = true;
+        }
+      in
+      match
+        Eba.Server.Daemon.run
+          ~on_ready:(fun bound ->
+            Format.printf "eba-serve/1 listening on %s (%d workers, queue %d)@."
+              (Eba.Server.Frame.address_to_string bound)
+              workers queue_cap;
+            Format.print_flush ())
+          cfg
+      with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, arg) ->
+          Error (`Msg (Printf.sprintf "serve: %s: %s" arg (Unix.error_message e)))
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident agreement service: a daemon answering \
+          netsim-sweep, probcheck and knowledge-query requests over \
+          length-prefixed JSON frames, with a bounded queue, typed \
+          backpressure, and graceful SIGINT/SIGTERM drain.  Served \
+          results are byte-identical to the batch commands for the same \
+          request identity.")
+    Term.(term_result (const run $ jobs_term $ metrics_term $ socket_arg
+                       $ port_arg $ workers_arg $ queue_cap_arg))
+
+let bench_serve_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"C" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per client.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit nonzero unless every request succeeded — the CI smoke \
+             mode.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the result as an eba-bench serve row.")
+  in
+  let run () () clients requests workers queue_cap check json =
+    if clients < 1 then Error (`Msg "--clients must be >= 1")
+    else if requests < 1 then Error (`Msg "--requests must be >= 1")
+    else begin
+      let result =
+        Eba.Server.Bench_load.run_local ~workers ~queue_cap ~clients ~requests
+          ~verb:"netsim-sweep"
+          ~params:
+            [
+              ("protocol", Eba.Json.String "floodset");
+              ("n", Eba.Json.Int 4);
+              ("t", Eba.Json.Int 1);
+              ("runs", Eba.Json.Int 10);
+            ]
+          ()
+      in
+      Format.printf "%a@." Eba.Server.Bench_load.pp result;
+      Option.iter
+        (fun file ->
+          Eba.Json.to_file file (Eba.Server.Bench_load.result_json result))
+        json;
+      if check && result.Eba.Server.Bench_load.ok < result.Eba.Server.Bench_load.requests
+      then
+        Error
+          (`Msg
+             (Printf.sprintf "bench-serve --check: %d of %d requests failed"
+                (result.Eba.Server.Bench_load.requests
+                - result.Eba.Server.Bench_load.ok)
+                result.Eba.Server.Bench_load.requests))
+      else Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Load-test an in-process agreement daemon: concurrent clients \
+          issuing netsim-sweep requests, reporting p50/p99 latency and \
+          requests/sec (the benchmark artifact's serve section).")
+    Term.(
+      term_result
+        (const run $ jobs_term $ metrics_term $ clients_arg $ requests_arg
+        $ workers_arg $ queue_cap_arg $ check_arg $ json_arg))
+
 let () =
   (* Spans get bechamel's CLOCK_MONOTONIC stub; the library default is
      wall-clock [Unix.gettimeofday]. *)
@@ -555,4 +690,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ model_cmd; check_cmd; optimize_cmd; experiments_cmd; tables_cmd; netsim_cmd; probcheck_cmd ]))
+          [ model_cmd; check_cmd; optimize_cmd; experiments_cmd; tables_cmd; netsim_cmd; probcheck_cmd; serve_cmd; bench_serve_cmd ]))

@@ -91,3 +91,13 @@ module Net = Eba_net
     {!Eba_net.Link}, {!Eba_net.Topology}, {!Eba_net.Inject},
     {!Eba_net.Sync}, {!Eba_net.Node}, {!Eba_net.Netsim},
     {!Eba_net.Net_stats}. *)
+
+(* the resident agreement service *)
+module Server = Eba_server
+(** Agreement as a service: {!Eba_server.Frame} (length-prefixed JSON
+    framing and sockets), {!Eba_server.Protocol} (request/response
+    envelope with typed backpressure), {!Eba_server.Spec} (the shared
+    request interpretation that makes served answers byte-identical to
+    the batch CLI), {!Eba_server.Registry}, {!Eba_server.Req_queue},
+    {!Eba_server.Pool}, {!Eba_server.Daemon}, {!Eba_server.Client},
+    {!Eba_server.Bench_load}. *)

@@ -1,4 +1,6 @@
 module Params = Eba_sim.Params
+
+let auto_live ~runs = max 1 (min 16 runs)
 module Config = Eba_sim.Config
 module Value = Eba_sim.Value
 module Metrics = Eba_util.Metrics

@@ -31,6 +31,14 @@
 
 module Params = Eba_sim.Params
 
+val auto_live : runs:int -> int
+(** The default wave size when the caller asks for multiplexing without
+    picking one ([--mux auto]): throughput on one core peaks near 16
+    live instances and decays as the resident working set grows (the
+    PR 8 measurement recorded in BENCH_PR8.json), so [auto_live] is 16
+    clamped to [[1, runs]].  Results are bit-identical for every wave
+    size — this only picks the fast one. *)
+
 module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) : sig
   type engine
   (** The reusable arena: one timer wheel, one event queue, [live]

@@ -1,0 +1,167 @@
+module Json = Eba_util.Json
+
+type result = {
+  verb : string;
+  clients : int;
+  workers : int;
+  requests : int;
+  ok : int;
+  busy : int;
+  errors : int;
+  elapsed_s : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  requests_per_sec : float;
+}
+
+type client_tally = {
+  mutable t_ok : int;
+  mutable t_busy : int;
+  mutable t_errors : int;
+  latencies_ns : int64 array;  (* one slot per attempted request *)
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let client_loop ~address ~requests ~verb ~params =
+  let tally =
+    { t_ok = 0; t_busy = 0; t_errors = 0; latencies_ns = Array.make requests 0L }
+  in
+  (match Client.connect address with
+  | exception Unix.Unix_error _ -> tally.t_errors <- requests
+  | c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let broken = ref false in
+          for i = 0 to requests - 1 do
+            if !broken then tally.t_errors <- tally.t_errors + 1
+            else begin
+              let t0 = now_ns () in
+              (match Client.call c ~verb ~params () with
+              | Ok (_, Protocol.Ok_result _) -> tally.t_ok <- tally.t_ok + 1
+              | Ok (_, Protocol.Busy_reply _) -> tally.t_busy <- tally.t_busy + 1
+              | Ok (_, Protocol.Error_reply _) | Error _ ->
+                  tally.t_errors <- tally.t_errors + 1
+              | exception Unix.Unix_error _ ->
+                  broken := true;
+                  tally.t_errors <- tally.t_errors + 1);
+              tally.latencies_ns.(i) <- Int64.sub (now_ns ()) t0
+            end
+          done));
+  tally
+
+(* Nearest-rank percentile of a sorted sample. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    Int64.to_float sorted.(rank - 1) /. 1e3
+
+let run ~address ~clients ~requests ~verb ~params =
+  let t0 = now_ns () in
+  let domains =
+    Array.init clients (fun _ ->
+        Domain.spawn (fun () -> client_loop ~address ~requests ~verb ~params))
+  in
+  let tallies = Array.map Domain.join domains in
+  let elapsed_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+  let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+  let busy = Array.fold_left (fun a t -> a + t.t_busy) 0 tallies in
+  let errors = Array.fold_left (fun a t -> a + t.t_errors) 0 tallies in
+  let latencies =
+    Array.concat (Array.to_list (Array.map (fun t -> t.latencies_ns) tallies))
+  in
+  Array.sort Int64.compare latencies;
+  let total = clients * requests in
+  let sum = Array.fold_left Int64.add 0L latencies in
+  let mean_us =
+    if total = 0 then 0.0 else Int64.to_float sum /. 1e3 /. float_of_int total
+  in
+  {
+    verb;
+    clients;
+    workers = 0;  (* filled in by the callers that know the daemon config *)
+    requests = total;
+    ok;
+    busy;
+    errors;
+    elapsed_s;
+    mean_us;
+    p50_us = percentile latencies 0.50;
+    p99_us = percentile latencies 0.99;
+    requests_per_sec =
+      (if elapsed_s > 0.0 then float_of_int total /. elapsed_s else 0.0);
+  }
+
+let run_local ?(workers = 4) ?(queue_cap = 64) ~clients ~requests ~verb ~params
+    () =
+  let ready = Atomic.make None in
+  let cfg =
+    {
+      Daemon.default_config with
+      address = Frame.Tcp 0;
+      workers;
+      queue_cap;
+    }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~on_ready:(fun a -> Atomic.set ready (Some a)) cfg)
+  in
+  let rec wait_ready tries =
+    match Atomic.get ready with
+    | Some a -> a
+    | None ->
+        if tries > 5000 then failwith "bench-serve: daemon did not come up"
+        else begin
+          Unix.sleepf 0.001;
+          wait_ready (tries + 1)
+        end
+  in
+  let address = wait_ready 0 in
+  let stop () =
+    match Client.connect address with
+    | exception Unix.Unix_error _ -> ()
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> ignore (Client.call c ~verb:"shutdown" ()))
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        stop ();
+        Domain.join daemon)
+      (fun () -> run ~address ~clients ~requests ~verb ~params)
+  in
+  { result with workers }
+
+let result_json r =
+  Json.Obj
+    [
+      ("verb", Json.String r.verb);
+      ("clients", Json.Int r.clients);
+      ("workers", Json.Int r.workers);
+      ("requests", Json.Int r.requests);
+      ("ok", Json.Int r.ok);
+      ("busy", Json.Int r.busy);
+      ("errors", Json.Int r.errors);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("mean_us", Json.Float r.mean_us);
+      ("p50_us", Json.Float r.p50_us);
+      ("p99_us", Json.Float r.p99_us);
+      ("requests_per_sec", Json.Float r.requests_per_sec);
+    ]
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>serve %s: %d clients x %d requests, %d workers@,\
+     ok %d  busy %d  errors %d@,\
+     latency mean %.1fus  p50 %.1fus  p99 %.1fus@,\
+     %.0f requests/sec (%.3fs wall)@]"
+    r.verb r.clients (r.requests / max 1 r.clients) r.workers r.ok r.busy
+    r.errors r.mean_us r.p50_us r.p99_us r.requests_per_sec r.elapsed_s

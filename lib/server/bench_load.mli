@@ -1,0 +1,54 @@
+(** Load generator for the daemon ([eba bench-serve]): [clients]
+    concurrent connections each issuing [requests] synchronous calls,
+    with per-request wall latency measured on the client side
+    (monotonic clock).
+
+    The latency distribution is reported as nearest-rank percentiles in
+    microseconds, plus aggregate throughput — the numbers the benchmark
+    artifact's [serve] section records. *)
+
+module Json = Eba_util.Json
+
+type result = {
+  verb : string;
+  clients : int;
+  workers : int;
+  requests : int;  (** total across all clients *)
+  ok : int;
+  busy : int;  (** typed backpressure replies *)
+  errors : int;  (** transport failures and error replies *)
+  elapsed_s : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  requests_per_sec : float;
+}
+
+val run :
+  address:Frame.address ->
+  clients:int ->
+  requests:int ->
+  verb:string ->
+  params:(string * Json.t) list ->
+  result
+(** [requests] is per client.  Each client runs in its own domain with
+    its own connection; a client that cannot connect or loses its
+    connection counts its remaining calls as [errors]. *)
+
+val run_local :
+  ?workers:int ->
+  ?queue_cap:int ->
+  clients:int ->
+  requests:int ->
+  verb:string ->
+  params:(string * Json.t) list ->
+  unit ->
+  result
+(** Start an in-process daemon on an ephemeral loopback port, drive
+    {!run} against it, then shut it down via the [shutdown] verb.
+    What [eba bench-serve] and the CI smoke step call. *)
+
+val result_json : result -> Json.t
+(** The [serve] section row: every field above, snake_case keys. *)
+
+val pp : Format.formatter -> result -> unit

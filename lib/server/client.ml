@@ -1,0 +1,38 @@
+module Json = Eba_util.Json
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect address = { fd = Frame.connect address; open_ = true }
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send c request = Frame.write_frame c.fd (Json.to_string request)
+
+let recv c =
+  match Frame.read_frame c.fd with
+  | Ok payload -> Ok payload
+  | Error `Eof -> Error "connection closed by the daemon"
+  | Error (`Oversize n) -> Error (Printf.sprintf "oversize reply (%d bytes)" n)
+  | exception End_of_file -> Error "connection closed mid-frame"
+
+let recv_json c =
+  match recv c with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Json.parse payload with
+      | Ok json -> Ok json
+      | Error e -> Error ("reply is not valid JSON: " ^ Json.error_to_string e))
+
+let raw_call c ?id ~verb ?params () =
+  send c (Protocol.request ?id ~verb ?params ());
+  recv c
+
+let call c ?id ~verb ?params () =
+  send c (Protocol.request ?id ~verb ?params ());
+  match recv_json c with
+  | Error _ as e -> e
+  | Ok json -> Protocol.reply_of_json json

@@ -1,0 +1,42 @@
+(** A blocking client for the agreement service — what the CLI, the
+    bench load generator and the differential tests speak.
+
+    One connection, synchronous {!call} or explicit {!send}/{!recv}
+    pipelining (match pipelined replies by the [id] you chose).
+    {!raw_call} exposes the exact reply bytes for the byte-identity
+    tests. *)
+
+module Json = Eba_util.Json
+
+type t
+
+val connect : Frame.address -> t
+(** Raises [Unix.Unix_error] if nothing is listening. *)
+
+val close : t -> unit
+
+val send : t -> Json.t -> unit
+(** Write one request frame. *)
+
+val recv : t -> (string, string) result
+(** Read the next response frame's exact payload bytes. *)
+
+val recv_json : t -> (Json.t, string) result
+
+val call :
+  t ->
+  ?id:Json.t ->
+  verb:string ->
+  ?params:(string * Json.t) list ->
+  unit ->
+  (Json.t * Protocol.reply, string) result
+(** One request, one reply: [(echoed id, reply)]. *)
+
+val raw_call :
+  t ->
+  ?id:Json.t ->
+  verb:string ->
+  ?params:(string * Json.t) list ->
+  unit ->
+  (string, string) result
+(** Like {!call} but returns the reply frame's payload verbatim. *)

@@ -1,0 +1,328 @@
+module Json = Eba_util.Json
+module Metrics = Eba_util.Metrics
+
+type config = {
+  address : Frame.address;
+  workers : int;
+  queue_cap : int;
+  max_frame : int;
+  handle_signals : bool;
+}
+
+let default_config =
+  {
+    address = Frame.Unix_socket "eba.sock";
+    workers = 4;
+    queue_cap = 64;
+    max_frame = Frame.default_max_frame;
+    handle_signals = false;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  dec : Frame.decoder;
+  mutable alive : bool;
+}
+
+type state = {
+  cfg : config;
+  mutable listen_fd : Unix.file_descr option;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_cid : int;
+  queue : Pool.job Req_queue.t;
+  mutable pool : Pool.t option;
+  (* completions cross domains: workers push under the lock and nudge the
+     self-pipe; only the loop thread pops and touches sockets *)
+  completions : (int * Json.t) Queue.t;
+  completions_lock : Mutex.t;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  stop : bool Atomic.t;  (* set by signal handlers / the shutdown verb *)
+  mutable draining : bool;
+}
+
+let requests_counter = Metrics.counter "serve.requests"
+let busy_counter = Metrics.counter "serve.busy"
+
+let all_verbs = Registry.verbs @ [ "status"; "shutdown" ]
+
+(* --- replies (every socket write goes through here, on the loop thread) --- *)
+
+let send conn json =
+  if conn.alive then
+    match Frame.write_frame conn.fd (Json.to_string json) with
+    | () -> ()
+    | exception Unix.Unix_error _ -> conn.alive <- false
+
+let close_conn st conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end;
+  Hashtbl.remove st.conns conn.cid
+
+(* --- completion channel (worker side is [push_completion]) --- *)
+
+let push_completion st ~conn reply =
+  Mutex.lock st.completions_lock;
+  Queue.push (conn, reply) st.completions;
+  Mutex.unlock st.completions_lock;
+  (* one nudge byte; the pipe buffer far exceeds any worker count, so
+     this never blocks a worker *)
+  ignore (Unix.write st.pipe_w (Bytes.make 1 '!') 0 1)
+
+let drain_completions st =
+  let pending =
+    Mutex.lock st.completions_lock;
+    let xs = Queue.fold (fun acc x -> x :: acc) [] st.completions in
+    Queue.clear st.completions;
+    Mutex.unlock st.completions_lock;
+    List.rev xs
+  in
+  List.iter
+    (fun (cid, reply) ->
+      match Hashtbl.find_opt st.conns cid with
+      | Some conn -> send conn reply
+      | None -> ())
+    pending
+
+(* --- dispatch --- *)
+
+let status_result st =
+  let pool_stat f = match st.pool with Some p -> f p | None -> 0 in
+  Json.Obj
+    [
+      ("service", Json.String "eba-serve/1");
+      ("verbs", Json.List (List.map (fun v -> Json.String v) all_verbs));
+      ("workers", Json.Int st.cfg.workers);
+      ("queue_depth", Json.Int (Req_queue.depth st.queue));
+      ("queue_cap", Json.Int (Req_queue.cap st.queue));
+      ("in_flight", Json.Int (pool_stat Pool.in_flight));
+      ("served", Json.Int (pool_stat Pool.served));
+      ("draining", Json.Bool st.draining);
+    ]
+
+let dispatch st conn (req : Protocol.request) =
+  Metrics.incr requests_counter;
+  let id = req.Protocol.req_id in
+  match req.Protocol.verb with
+  | "status" -> send conn (Protocol.ok ~id (status_result st))
+  | "shutdown" ->
+      send conn (Protocol.ok ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
+      Atomic.set st.stop true
+  | verb -> (
+      if st.draining then
+        send conn
+          (Protocol.error ~id Protocol.Shutting_down
+             "daemon is draining; not accepting new work")
+      else
+        match Registry.prepare ~verb ~params:req.Protocol.params with
+        | Error `Unknown_verb ->
+            send conn
+              (Protocol.error ~id Protocol.Unknown_verb
+                 (Printf.sprintf "unknown verb %S (have: %s)" verb
+                    (String.concat ", " all_verbs)))
+        | Error (`Bad_request msg) ->
+            send conn (Protocol.error ~id Protocol.Bad_request msg)
+        | Ok thunk ->
+            let job =
+              {
+                Pool.job_conn = conn.cid;
+                response =
+                  (fun () ->
+                    match thunk () with
+                    | Ok result -> Protocol.ok ~id result
+                    | Error msg -> Protocol.error ~id Protocol.Bad_request msg);
+                abort =
+                  (fun () ->
+                    Protocol.error ~id Protocol.Shutting_down
+                      "daemon drained before this request started");
+              }
+            in
+            (match Req_queue.try_push st.queue job with
+            | `Ok -> ()
+            | `Full depth ->
+                Metrics.incr busy_counter;
+                send conn
+                  (Protocol.busy ~id ~depth ~cap:(Req_queue.cap st.queue))
+            | `Closed ->
+                send conn
+                  (Protocol.error ~id Protocol.Shutting_down
+                     "daemon is draining; not accepting new work")))
+
+let handle_frame st conn payload =
+  match Json.parse payload with
+  | Error e ->
+      send conn
+        (Protocol.error ~id:Json.Null Protocol.Bad_request
+           ("frame is not valid JSON: " ^ Json.error_to_string e))
+  | Ok json -> (
+      match Protocol.request_of_json json with
+      | Error msg -> send conn (Protocol.error ~id:Json.Null Protocol.Bad_request msg)
+      | Ok req -> dispatch st conn req)
+
+let read_chunk_size = 65536
+
+let handle_readable st conn =
+  let buf = Bytes.create read_chunk_size in
+  match Unix.read conn.fd buf 0 read_chunk_size with
+  | 0 -> close_conn st conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn st conn
+  | len ->
+      Frame.feed conn.dec buf ~len;
+      let rec frames () =
+        if conn.alive then
+          match Frame.next conn.dec with
+          | Ok None -> ()
+          | Ok (Some payload) ->
+              handle_frame st conn payload;
+              frames ()
+          | Error (`Oversize n) ->
+              send conn
+                (Protocol.error ~id:Json.Null Protocol.Bad_request
+                   (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap"
+                      n st.cfg.max_frame));
+              close_conn st conn
+      in
+      frames ()
+
+let accept_conn st listen_fd =
+  match Unix.accept listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+      Unix.set_close_on_exec fd;
+      let cid = st.next_cid in
+      st.next_cid <- cid + 1;
+      Hashtbl.replace st.conns cid
+        { fd; cid; dec = Frame.decoder ~max_frame:st.cfg.max_frame (); alive = true }
+
+(* --- drain --- *)
+
+let close_listener st =
+  match st.listen_fd with
+  | None -> ()
+  | Some fd ->
+      st.listen_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* unlink now, not at exit: a restarted daemon binds immediately
+         while this one finishes its in-flight work *)
+      (match st.cfg.address with
+      | Frame.Unix_socket path -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Frame.Tcp _ -> ())
+
+let drain st =
+  st.draining <- true;
+  close_listener st;
+  (* every queued-but-unstarted job gets its typed reply *)
+  let leftovers = Req_queue.close st.queue in
+  List.iter
+    (fun (job : Pool.job) ->
+      push_completion st ~conn:job.Pool.job_conn (job.Pool.abort ()))
+    leftovers;
+  (* in-flight jobs finish; their completions can't block because the
+     pipe write is tiny and we drain everything right after the join *)
+  Option.iter Pool.join st.pool;
+  drain_completions st;
+  let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [] in
+  List.iter (close_conn st) remaining
+
+(* --- the loop --- *)
+
+let drain_pipe st =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read st.pipe_r buf 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+  in
+  go ()
+
+let serve st =
+  let rec loop () =
+    if Atomic.get st.stop then ()
+    else begin
+      let conn_fds =
+        Hashtbl.fold (fun _ c acc -> if c.alive then c.fd :: acc else acc)
+          st.conns []
+      in
+      let read_set =
+        (st.pipe_r :: conn_fds)
+        @ match st.listen_fd with Some fd -> [ fd ] | None -> []
+      in
+      match Unix.select read_set [] [] 1.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+          if List.mem st.pipe_r ready then begin
+            drain_pipe st;
+            drain_completions st
+          end;
+          (match st.listen_fd with
+          | Some lfd when List.mem lfd ready -> accept_conn st lfd
+          | _ -> ());
+          let ready_conns =
+            Hashtbl.fold
+              (fun _ c acc ->
+                if c.alive && List.mem c.fd ready then c :: acc else acc)
+              st.conns []
+          in
+          List.iter (fun c -> if c.alive then handle_readable st c) ready_conns;
+          loop ()
+    end
+  in
+  loop ()
+
+let with_signals st enabled f =
+  if not enabled then f ()
+  else begin
+    let request_stop _ = Atomic.set st.stop true in
+    let installed =
+      List.map
+        (fun s -> (s, Sys.signal s (Sys.Signal_handle request_stop)))
+        [ Sys.sigint; Sys.sigterm ]
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (s, old) -> Sys.set_signal s old) installed)
+      f
+  end
+
+let run ?on_ready cfg =
+  if cfg.queue_cap < 1 then invalid_arg "Daemon.run: queue_cap must be >= 1";
+  let listen_fd = Frame.listen cfg.address in
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let queue = Req_queue.create ~cap:cfg.queue_cap in
+  let st =
+    {
+      cfg;
+      listen_fd = Some listen_fd;
+      conns = Hashtbl.create 16;
+      next_cid = 0;
+      queue;
+      pool = None;
+      completions = Queue.create ();
+      completions_lock = Mutex.create ();
+      pipe_r;
+      pipe_w;
+      stop = Atomic.make false;
+      draining = false;
+    }
+  in
+  let finally () =
+    close_listener st;
+    (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+    try Unix.close pipe_w with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      with_signals st cfg.handle_signals (fun () ->
+          st.pool <-
+            Some
+              (Pool.create ~workers:cfg.workers ~queue
+                 ~complete:(fun ~conn reply -> push_completion st ~conn reply));
+          Option.iter (fun f -> f (Frame.bound_address listen_fd cfg.address))
+            on_ready;
+          Fun.protect
+            ~finally:(fun () -> drain st)
+            (fun () -> serve st)))

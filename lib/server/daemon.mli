@@ -1,0 +1,58 @@
+(** The resident agreement service: one select-based event loop, a
+    bounded request queue, and a {!Pool} of worker domains.
+
+    {2 Life of a request}
+
+    The event loop owns every socket.  It accepts connections, feeds
+    bytes through a per-connection incremental {!Frame.decoder}, parses
+    each frame with {!Eba_util.Json.parse}, and dispatches:
+
+    - unparseable frame / bad envelope: inline [bad-request] reply;
+    - [status], [shutdown]: answered inline (they read or steer loop
+      state);
+    - compute verbs: decoded and resolved inline ({!Registry.prepare} —
+      a bad request is refused before it costs a queue slot), then
+      pushed to the bounded queue.  A full queue is an inline [busy]
+      reply with the observed depth and the cap; the connection stays
+      open.
+
+    Workers pop jobs, run them, and hand [(connection, reply)] back
+    through a mutex-guarded completion list plus a self-pipe byte; the
+    loop wakes, drains the list, and writes each frame on its
+    connection.  Every socket write happens on the loop thread, so
+    frames never interleave.
+
+    {2 Graceful drain}
+
+    [SIGINT], [SIGTERM] (when [handle_signals]) and the [shutdown] verb
+    all trigger the same drain: stop accepting (the listening socket is
+    closed and, for Unix sockets, unlinked {e immediately}, so a
+    restarted daemon can bind while the old one finishes), close the
+    queue and answer every queued-but-unstarted job with
+    [shutting-down], let in-flight jobs run to completion, deliver
+    their replies, then close every connection.  Nothing is dropped
+    silently and no socket file is left behind — a crash that does
+    leave one is recovered by the next {!Frame.listen}'s stale-socket
+    probe. *)
+
+type config = {
+  address : Frame.address;
+  workers : int;
+      (** worker domains; [0] = accept-only (see {!Pool.create}) *)
+  queue_cap : int;  (** bounded queue slots, >= 1 *)
+  max_frame : int;  (** per-frame byte cap for reads *)
+  handle_signals : bool;
+      (** install SIGINT/SIGTERM drain handlers — process-global, so
+          only the CLI sets this; in-process daemons (tests, bench) use
+          the [shutdown] verb *)
+}
+
+val default_config : config
+(** Unix socket ["eba.sock"], 4 workers, 64 queue slots, the default
+    frame cap, no signal handlers. *)
+
+val run : ?on_ready:(Frame.address -> unit) -> config -> unit
+(** Bind, serve until drained, clean up, return.  [on_ready] fires once
+    with the bound address (the concrete port for [Tcp 0]) — how tests
+    and the bench harness learn where to connect when they run the
+    daemon in a spawned domain. *)

@@ -1,0 +1,180 @@
+type address = Unix_socket of string | Tcp of int
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp port -> Printf.sprintf "tcp:%d" port
+
+let default_max_frame = 64 * 1024 * 1024
+
+let encode payload =
+  let len = String.length payload in
+  if len > default_max_frame then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: %d bytes exceeds the %d-byte frame cap"
+         len default_max_frame);
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  Bytes.unsafe_to_string b
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let wrote = Unix.write fd b !off (len - !off) in
+    if wrote = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + wrote
+  done
+
+let write_frame fd payload = write_all fd (Bytes.of_string (encode payload))
+
+let read_exactly fd b off len =
+  let off = ref off and remaining = ref len in
+  while !remaining > 0 do
+    let got = Unix.read fd b !off !remaining in
+    if got = 0 then raise End_of_file;
+    off := !off + got;
+    remaining := !remaining - got
+  done
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let header = Bytes.create 4 in
+  match Unix.read fd header 0 4 with
+  | 0 -> Error `Eof
+  | got ->
+      if got < 4 then read_exactly fd header got (4 - got);
+      let len = Int32.to_int (Bytes.get_int32_be header 0) in
+      if len < 0 || len > max_frame then Error (`Oversize len)
+      else begin
+        let payload = Bytes.create len in
+        read_exactly fd payload 0 len;
+        Ok (Bytes.unsafe_to_string payload)
+      end
+
+(* --- incremental decoder --- *)
+
+type decoder = {
+  max_frame : int;
+  mutable buf : Bytes.t;  (* accumulated input, [start, fill) live *)
+  mutable start : int;
+  mutable fill : int;
+  mutable poisoned : int option;  (* the oversize length, once seen *)
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytes.create 4096; start = 0; fill = 0; poisoned = None }
+
+let buffered d = d.fill - d.start
+
+let feed d chunk ~len =
+  if len > 0 then begin
+    if d.fill + len > Bytes.length d.buf then begin
+      (* compact, then grow if still needed *)
+      let live = buffered d in
+      Bytes.blit d.buf d.start d.buf 0 live;
+      d.start <- 0;
+      d.fill <- live;
+      if live + len > Bytes.length d.buf then begin
+        let cap = ref (max 4096 (2 * Bytes.length d.buf)) in
+        while live + len > !cap do
+          cap := 2 * !cap
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit d.buf 0 bigger 0 live;
+        d.buf <- bigger
+      end
+    end;
+    Bytes.blit chunk 0 d.buf d.fill len;
+    d.fill <- d.fill + len
+  end
+
+let next d =
+  match d.poisoned with
+  | Some n -> Error (`Oversize n)
+  | None ->
+      if buffered d < 4 then Ok None
+      else
+        let len = Int32.to_int (Bytes.get_int32_be d.buf d.start) in
+        if len < 0 || len > d.max_frame then begin
+          d.poisoned <- Some len;
+          Error (`Oversize len)
+        end
+        else if buffered d < 4 + len then Ok None
+        else begin
+          let payload = Bytes.sub_string d.buf (d.start + 4) len in
+          d.start <- d.start + 4 + len;
+          if d.start = d.fill then begin
+            d.start <- 0;
+            d.fill <- 0
+          end;
+          Ok (Some payload)
+        end
+
+(* --- sockets --- *)
+
+let socket_of = function
+  | Unix_socket _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+
+let sockaddr_of = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(* A socket file nobody accepts on is litter from a killed daemon: probe
+   with a connect, and unlink only a confirmed-dead socket.  Anything
+   that is not a socket is somebody else's file — never unlink it. *)
+let remove_stale_socket path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_SOCK -> (
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        Fun.protect
+          ~finally:(fun () -> Unix.close probe)
+          (fun () ->
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> true
+            | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+              ->
+                false)
+      in
+      if live then
+        raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+      else Unix.unlink path)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Frame.listen: %s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let listen ?(backlog = 64) address =
+  (match address with
+  | Unix_socket path -> remove_stale_socket path
+  | Tcp _ -> ());
+  let fd = socket_of address in
+  (try
+     Unix.set_close_on_exec fd;
+     (match address with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_socket _ -> ());
+     Unix.bind fd (sockaddr_of address);
+     Unix.listen fd backlog
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let bound_address fd = function
+  | Unix_socket _ as a -> a
+  | Tcp _ -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> Tcp port
+      | Unix.ADDR_UNIX path -> Unix_socket path)
+
+let connect address =
+  let fd = socket_of address in
+  (try
+     Unix.set_close_on_exec fd;
+     Unix.connect fd (sockaddr_of address)
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd

@@ -1,0 +1,75 @@
+(** Wire framing and transport addresses for the agreement service.
+
+    Every message on an [eba serve] connection — request or response — is
+    one {e frame}: a 4-byte big-endian payload length followed by exactly
+    that many payload bytes (the payload is one JSON text).  Framing is
+    direction-symmetric and carries no other state, so a connection is a
+    plain sequence of frames each way.
+
+    Two transports: a Unix-domain socket (the default — filesystem
+    permissions are the access control) and a localhost TCP port.  Both
+    speak byte streams; nothing here depends on which one carries the
+    frames. *)
+
+type address =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of int  (** 127.0.0.1 port; [0] lets the kernel pick *)
+
+val address_to_string : address -> string
+(** [unix:PATH] / [tcp:PORT] — the rendering the CLI and telemetry use. *)
+
+val default_max_frame : int
+(** 64 MiB — frames beyond this are a protocol violation, not a
+    larger-buffer request. *)
+
+val encode : string -> string
+(** The 4-byte length prefix followed by the payload.  Raises
+    [Invalid_argument] past {!default_max_frame}. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** [encode] and write fully (retrying short writes).  Raises
+    [Unix.Unix_error] as the descriptor does. *)
+
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (string, [ `Eof | `Oversize of int ]) result
+(** Blocking read of one complete frame.  [`Eof] when the peer closed
+    cleanly {e between} frames; a close mid-frame raises [End_of_file]
+    (truncated input is a peer bug, not a clean end). *)
+
+(** {1 Incremental decoding}
+
+    The daemon reads sockets as they become readable and feeds whatever
+    arrived into a per-connection decoder; complete frames pop out as
+    their last byte lands.  A decoder that has signalled [`Oversize] is
+    poisoned: the stream can no longer be re-synchronized, so the
+    connection must be dropped. *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+val feed : decoder -> bytes -> len:int -> unit
+(** Append the first [len] bytes of the buffer to the decoder's input. *)
+
+val next : decoder -> (string option, [ `Oversize of int ]) result
+(** The next complete payload, [Ok None] when more input is needed. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet returned — a backpressure signal. *)
+
+(** {1 Sockets} *)
+
+val listen : ?backlog:int -> address -> Unix.file_descr
+(** Bind and listen.  For {!Unix_socket}, recovers from a {e stale}
+    socket file: if the path holds a socket nobody is accepting on (a
+    previous daemon was killed without cleanup), it is unlinked and the
+    address reused — restart-after-kill must not require manual [rm].  A
+    path holding a live server fails with [Unix.EADDRINUSE]; a path
+    holding anything that is not a socket is never touched and fails with
+    [Invalid_argument]. *)
+
+val bound_address : Unix.file_descr -> address -> address
+(** The concrete address after {!listen} — resolves [Tcp 0] to the port
+    the kernel picked. *)
+
+val connect : address -> Unix.file_descr

@@ -1,0 +1,50 @@
+(** The daemon's worker pool: [workers] domains draining one
+    {!Req_queue} of jobs.
+
+    Which worker runs a job never changes the bytes of its reply — a
+    job's [response] thunk is a pure function of the request (every
+    engine underneath is bit-deterministic), and completed replies are
+    routed back through [complete] tagged with the connection they
+    belong to, so scheduling only permutes {e which} reply finishes
+    first, never its content.  Clients match pipelined replies by
+    [id]. *)
+
+module Json = Eba_util.Json
+
+type job = {
+  job_conn : int;  (** the daemon's token for the requesting connection *)
+  response : unit -> Json.t;
+      (** runs in a worker; must be total (the daemon wraps handler
+          calls), but a raise still yields a typed [internal] reply *)
+  abort : unit -> Json.t;
+      (** the reply for a job the drain threw out of the queue before
+          any worker started it ([shutting-down]) *)
+}
+
+type t
+
+val create :
+  workers:int ->
+  queue:job Req_queue.t ->
+  complete:(conn:int -> Json.t -> unit) ->
+  t
+(** Spawns [workers] domains ([workers >= 0]).  [complete] is called
+    from worker domains — it must be thread-safe (the daemon's is: a
+    mutex-guarded completion list plus a self-pipe wakeup).
+
+    [workers = 0] is accept-only mode: jobs queue up but nothing drains
+    them.  It exists so tests can fill the queue to its cap
+    deterministically and observe the [busy] backpressure reply. *)
+
+val workers : t -> int
+
+val in_flight : t -> int
+(** Jobs popped by a worker and not yet completed. *)
+
+val served : t -> int
+(** Jobs completed since the pool started. *)
+
+val join : t -> unit
+(** Wait for every worker to exit.  Only returns promptly after the
+    queue has been closed; in-flight jobs run to completion (and their
+    replies reach [complete]) — the drain half of graceful shutdown. *)

@@ -1,0 +1,78 @@
+(** The request/response envelope of the agreement service.
+
+    A {b request} frame carries one JSON object:
+
+    {v
+      {"id": <any value, echoed back>, "verb": "<verb>", "params": {...}}
+    v}
+
+    [id] is optional (defaults to [null]) and opaque — clients that
+    pipeline several requests on one connection use it to match answers.
+    [params] is optional and defaults to [{}]; its schema is per-verb
+    ({!Spec}).
+
+    A {b response} frame carries one JSON object in one of three shapes,
+    discriminated by ["status"]:
+
+    {v
+      {"id": ..., "status": "ok",   "result": <verb-specific JSON>}
+      {"id": ..., "status": "busy", "error": {"code": "busy",
+        "message": ..., "queue_depth": D, "queue_cap": C}}
+      {"id": ..., "status": "error", "error": {"code": <code>,
+        "message": ...}}
+    v}
+
+    [busy] is the typed backpressure reply: the bounded request queue was
+    full when the request arrived.  The connection stays open and the
+    client may retry; nothing was executed.  Error codes are closed
+    ({!error_code}): [bad-request] (unparseable frame or params),
+    [unknown-verb], [busy], [shutting-down] (the daemon is draining and
+    will not start new work), [internal] (handler raised). *)
+
+module Json = Eba_util.Json
+
+type error_code = Bad_request | Unknown_verb | Busy | Shutting_down | Internal
+
+val code_to_string : error_code -> string
+val code_of_string : string -> error_code option
+
+type request = {
+  req_id : Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  verb : string;
+  params : Json.t;  (** always an object; [{}] if absent *)
+}
+
+val request_of_json : Json.t -> (request, string) result
+(** Rejects non-object frames, a missing or non-string ["verb"], and a
+    non-object ["params"]. *)
+
+val request : ?id:Json.t -> verb:string -> ?params:(string * Json.t) list -> unit -> Json.t
+(** Client-side constructor for the request envelope. *)
+
+val ok : id:Json.t -> Json.t -> Json.t
+val busy : id:Json.t -> depth:int -> cap:int -> Json.t
+val error : id:Json.t -> error_code -> string -> Json.t
+
+(** Reply views, for clients and tests. *)
+type reply =
+  | Ok_result of Json.t
+  | Busy_reply of { depth : int; cap : int }
+  | Error_reply of { code : error_code; message : string }
+
+val reply_of_json : Json.t -> (Json.t * reply, string) result
+(** [(id, reply)] of a response frame. *)
+
+(** {1 Param accessors}
+
+    Small total accessors the per-verb decoders are written with; each
+    returns [Error] naming the field on a type mismatch, and [default]
+    when the field is absent. *)
+
+val mem : Json.t -> string -> Json.t option
+val get_int : ?default:int -> Json.t -> string -> (int, string) result
+val get_int_opt : Json.t -> string -> (int option, string) result
+val get_float : ?default:float -> Json.t -> string -> (float, string) result
+val get_float_opt : Json.t -> string -> (float option, string) result
+val get_string : ?default:string -> Json.t -> string -> (string, string) result
+val get_string_opt : Json.t -> string -> (string option, string) result
+val get_bool : ?default:bool -> Json.t -> string -> (bool, string) result

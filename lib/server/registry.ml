@@ -1,0 +1,158 @@
+module Json = Eba_util.Json
+module P = Protocol
+module Params = Eba_sim.Params
+
+let ( let* ) = Result.bind
+
+let verbs = [ "netsim-sweep"; "probcheck"; "knowledge-query" ]
+
+(* --- netsim-sweep --- *)
+
+let netsim params =
+  let* spec = Spec.of_json params in
+  let* resolved = Spec.resolve spec in
+  Ok (fun () -> Ok (Eba_net.Net_stats.summary_json (Spec.run resolved)))
+
+(* --- probcheck --- *)
+
+let probcheck params =
+  let* spec = Spec.Probcheck.of_json params in
+  (* [Report.make] IS the computation (the exact Markov analysis), so it
+     runs in the worker; its validation failures come back as the
+     thunk's [Error]. *)
+  Ok
+    (fun () ->
+      Result.map Eba_prob.Report.to_json (Spec.Probcheck.report spec))
+
+(* --- knowledge-query --- *)
+
+(* The semantic layer's named protocols, exactly the CLI [check]
+   command's table. *)
+let kb_protocol_names =
+  [ "never"; "p0"; "p1"; "p0opt"; "f-lambda-2"; "chain0"; "f-star" ]
+
+let pair_of_name env = function
+  | "never" ->
+      Eba_core.Kb_protocol.never_decide (Eba_epistemic.Formula.model env)
+  | "p0" -> Eba_core.Zoo.p0 env
+  | "p1" -> Eba_core.Zoo.p1 env
+  | "p0opt" | "f-lambda-2" -> Eba_core.Zoo.f_lambda_2 env
+  | "chain0" -> Eba_core.Zoo.chain_zero env
+  | "f-star" -> Eba_core.Zoo.f_star env
+  | other -> invalid_arg ("unknown protocol " ^ other)
+
+let spec_report_json (r : Eba_core.Spec.report) =
+  Json.Obj
+    [
+      ("weak_agreement", Json.Bool r.weak_agreement);
+      ("agreement", Json.Bool r.agreement);
+      ("weak_validity", Json.Bool r.weak_validity);
+      ("validity", Json.Bool r.validity);
+      ("decision", Json.Bool r.decision);
+      ("simultaneity", Json.Bool r.simultaneity);
+      ("unambiguous", Json.Bool r.unambiguous);
+      ( "max_decision_time",
+        match r.max_decision_time with
+        | Some t -> Json.Int t
+        | None -> Json.Null );
+    ]
+
+let trying f = match f () with v -> Ok v | exception Invalid_argument m -> Error m
+
+let knowledge params =
+  let* () =
+    Spec.check_keys
+      ~allowed:[ "n"; "t"; "horizon"; "mode"; "protocol"; "query"; "jobs" ]
+      params
+  in
+  let* n = P.get_int ~default:3 params "n" in
+  let* t = P.get_int ~default:1 params "t" in
+  let* horizon = P.get_int ~default:3 params "horizon" in
+  let* mode_s = P.get_string ~default:"crash" params "mode" in
+  let* mode =
+    match Spec.mode_of_string mode_s with
+    | Some m -> Ok m
+    | None -> Error (Printf.sprintf "unknown mode %S" mode_s)
+  in
+  let* query = P.get_string ~default:"spec" params "query" in
+  let* jobs = P.get_int_opt params "jobs" in
+  let* model_params = trying (fun () -> Params.make ~n ~t ~horizon ~mode) in
+  let identity name =
+    [
+      ("protocol", Json.String name);
+      ("query", Json.String query);
+      ("n", Json.Int n);
+      ("t", Json.Int t);
+      ("horizon", Json.Int horizon);
+      ("mode", Json.String mode_s);
+    ]
+  in
+  match query with
+  | "spec" ->
+      (* The CLI [check] command's pipeline: semantic decisions of the
+         named knowledge-based protocol, checked against the EBA spec
+         and the Theorem 5.3 optimality characterization. *)
+      let* name = P.get_string ~default:"f-lambda-2" params "protocol" in
+      let* () =
+        if List.mem name kb_protocol_names then Ok ()
+        else
+          Error
+            (Printf.sprintf "unknown protocol %S (have: %s)" name
+               (String.concat ", " kb_protocol_names))
+      in
+      Ok
+        (fun () ->
+          trying (fun () ->
+              let model = Eba_fip.Model.build model_params in
+              let env = Eba_epistemic.Formula.env model in
+              let pair = pair_of_name env name in
+              let d = Eba_core.Kb_protocol.decide model pair in
+              let report = Eba_core.Spec.check d in
+              Json.Obj
+                (identity name
+                @ [
+                    ("eba", Json.Bool (Eba_core.Spec.is_eba report));
+                    ( "nta",
+                      Json.Bool
+                        (Eba_core.Spec.is_nontrivial_agreement report) );
+                    ( "optimal",
+                      Json.Bool (Eba_core.Characterize.is_optimal env d) );
+                    ("report", spec_report_json report);
+                  ])))
+  | "exhaustive" ->
+      (* Every configuration x every pattern through an operational
+         protocol — [Stats.exhaustive]'s summary, same JSON as the
+         benchmark artifact rows. *)
+      let* name = P.get_string ~default:"floodset" params "protocol" in
+      let* select =
+        match List.assoc_opt name Spec.protocols with
+        | Some s -> Ok s
+        | None ->
+            Error
+              (Printf.sprintf "unknown protocol %S (have: %s)" name
+                 (String.concat ", " Spec.protocol_names))
+      in
+      let* protocol = trying (fun () -> select model_params) in
+      Ok
+        (fun () ->
+          trying (fun () ->
+              let summary =
+                Eba_protocols.Stats.exhaustive ?jobs protocol model_params
+              in
+              Json.Obj
+                (identity name
+                @ [ ("summary", Eba_protocols.Stats.summary_json summary) ])))
+  | other ->
+      Error
+        (Printf.sprintf "unknown query %S (have: spec, exhaustive)" other)
+
+let prepare ~verb ~params =
+  let wrap = function
+    | Ok thunk -> Ok thunk
+    | Error msg -> Error (`Bad_request msg)
+  in
+  match verb with
+  | "netsim-sweep" -> wrap (netsim params)
+  | "probcheck" -> wrap (probcheck params)
+  | "knowledge-query" -> wrap (knowledge params)
+  | _ -> Error `Unknown_verb

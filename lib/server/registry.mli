@@ -1,0 +1,33 @@
+(** Verb registry: maps the service's compute verbs onto the existing
+    engines.
+
+    Decoding and validation run in the event loop ({!prepare}) so a bad
+    request is refused {e before} it occupies a queue slot; the returned
+    thunk is the expensive part and runs in a worker.  Each thunk is a
+    pure function of the request params, so replies are bit-identical
+    regardless of which worker runs them or in what order — the served
+    [netsim-sweep] and [probcheck] results are byte-equal to the batch
+    CLI's JSON for the same identity because both sides execute the same
+    {!Spec} resolution.
+
+    Admin verbs ([status], [shutdown]) are not here: they are answered
+    inline by the daemon, which owns the state they report. *)
+
+module Json = Eba_util.Json
+
+val verbs : string list
+(** The compute verbs: [netsim-sweep], [probcheck], [knowledge-query]. *)
+
+val prepare :
+  verb:string ->
+  params:Json.t ->
+  ( unit -> (Json.t, string) result,
+    [ `Unknown_verb | `Bad_request of string ] )
+  result
+(** [Ok thunk]: params decoded (and, where cheap, resolved); running
+    [thunk ()] in any domain yields the verb's result JSON.  A thunk
+    [Error] is a validation failure only detectable at execution time
+    (e.g. probcheck's exact analysis rejecting its timing parameters) —
+    the daemon renders it as a [bad-request] reply.  Thunks never
+    raise by contract; the pool still guards with a typed [internal]
+    reply. *)

@@ -1,0 +1,59 @@
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Req_queue.create: cap must be >= 1";
+  {
+    capacity = cap;
+    items = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let cap q = q.capacity
+
+let locked q f =
+  Mutex.lock q.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.lock) f
+
+let depth q = locked q (fun () -> Queue.length q.items)
+
+let try_push q x =
+  locked q (fun () ->
+      if q.closed then `Closed
+      else
+        let d = Queue.length q.items in
+        if d >= q.capacity then `Full d
+        else begin
+          Queue.push x q.items;
+          Condition.signal q.nonempty;
+          `Ok
+        end)
+
+let pop q =
+  locked q (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+        else if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close q =
+  locked q (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty;
+      let rec drain acc =
+        if Queue.is_empty q.items then List.rev acc
+        else drain (Queue.pop q.items :: acc)
+      in
+      drain [])

@@ -1,0 +1,30 @@
+(** The daemon's bounded request queue.
+
+    One producer (the event loop) and any number of consumer domains (the
+    worker pool).  The bound is the backpressure contract: {!try_push} on
+    a full queue refuses instantly — it never blocks the event loop — and
+    the daemon turns that refusal into the typed [busy] reply.  {!pop}
+    blocks the calling worker until an item or {!close}. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** [cap >= 1], else [Invalid_argument]. *)
+
+val cap : 'a t -> int
+
+val depth : 'a t -> int
+(** Items queued and not yet popped (a racy snapshot, exact when only the
+    event loop is pushing). *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full of int | `Closed ]
+(** [`Full depth] carries the depth observed at refusal ([= cap]). *)
+
+val pop : 'a t -> 'a option
+(** Blocks; [None] once the queue is closed {e and} drained — the
+    consumer's signal to exit. *)
+
+val close : 'a t -> 'a list
+(** Refuse further pushes, wake all blocked consumers, and hand back the
+    items nobody popped (in push order) so the caller can answer them
+    with [shutting-down] instead of dropping them silently. *)

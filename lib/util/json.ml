@@ -32,7 +32,13 @@ let pp_float fmt x =
     Format.pp_print_string fmt "null"
   else if Float.is_integer x && Float.abs x < 1e15 then
     Format.fprintf fmt "%.1f" x
-  else Format.fprintf fmt "%.17g" x
+  else
+    let s = Printf.sprintf "%.17g" x in
+    (* keep the token lexically a float: %.17g renders large integral
+       floats (e.g. 2^50) bare, which would reparse as an Int *)
+    if String.contains s '.' || String.contains s 'e' then
+      Format.pp_print_string fmt s
+    else Format.fprintf fmt "%s.0" s
 
 let rec pp fmt = function
   | Null -> Format.pp_print_string fmt "null"
@@ -54,8 +60,272 @@ let rec pp fmt = function
 
 let to_string j = Format.asprintf "%a@." pp j
 
+(* Atomic write: temporary file in the target directory, renamed over the
+   destination only once complete, unlinked on failure — an interrupted
+   process leaves either the old document or the new one, never a torn
+   half-write. *)
 let to_file path j =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string j))
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (to_string j))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* --- parsing --- *)
+
+type failure =
+  | Unexpected_end
+  | Unexpected_char of char
+  | Bad_escape
+  | Bad_number
+  | Too_deep of int
+  | Trailing_garbage
+
+type error = { at : int; failure : failure }
+
+let failure_to_string = function
+  | Unexpected_end -> "unexpected end of input"
+  | Unexpected_char c ->
+      if Char.code c < 0x20 || Char.code c >= 0x7f then
+        Printf.sprintf "unexpected byte 0x%02x" (Char.code c)
+      else Printf.sprintf "unexpected character %C" c
+  | Bad_escape -> "malformed string escape"
+  | Bad_number -> "malformed number"
+  | Too_deep depth -> Printf.sprintf "nesting deeper than %d" depth
+  | Trailing_garbage -> "trailing garbage after the value"
+
+let error_to_string { at; failure } =
+  Printf.sprintf "%s at byte %d" (failure_to_string failure) at
+
+let default_max_depth = 512
+
+exception Fail of int * failure
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse ?(max_depth = default_max_depth) s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail failure = raise (Fail (!pos, failure)) in
+  let peek () = if !pos < len then Some (String.unsafe_get s !pos) else None in
+  let skip_ws () =
+    while
+      !pos < len
+      && match String.unsafe_get s !pos with
+         | ' ' | '\t' | '\n' | '\r' -> true
+         | _ -> false
+    do
+      incr pos
+    done
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= len && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else
+      match peek () with
+      | Some c -> fail (Unexpected_char c)
+      | None -> fail Unexpected_end
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail Bad_escape;
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail Bad_escape
+    in
+    let v =
+      (digit s.[!pos] lsl 12)
+      lor (digit s.[!pos + 1] lsl 8)
+      lor (digit s.[!pos + 2] lsl 4)
+      lor digit s.[!pos + 3]
+    in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    (* caller consumed the opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail Unexpected_end;
+      match String.unsafe_get s !pos with
+      | '"' ->
+          incr pos;
+          Buffer.contents buf
+      | '\\' ->
+          incr pos;
+          (if !pos >= len then fail Unexpected_end;
+           let c = s.[!pos] in
+           incr pos;
+           match c with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+               let cp = hex4 () in
+               if cp >= 0xd800 && cp <= 0xdbff then begin
+                 (* high surrogate: a low surrogate escape must follow *)
+                 if
+                   not
+                     (!pos + 2 <= len && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                 then fail Bad_escape;
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 if not (lo >= 0xdc00 && lo <= 0xdfff) then fail Bad_escape;
+                 add_utf8 buf
+                   (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
+               end
+               else if cp >= 0xdc00 && cp <= 0xdfff then fail Bad_escape
+               else add_utf8 buf cp
+           | _ -> fail Bad_escape);
+          go ()
+      | c when Char.code c < 0x20 -> fail (Unexpected_char c)
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let d0 = !pos in
+      while !pos < len && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = d0 then fail Bad_number
+    in
+    if peek () = Some '-' then incr pos;
+    (match peek () with
+    | Some '0' -> incr pos (* a leading zero stands alone per the RFC *)
+    | Some ('1' .. '9') -> digits ()
+    | _ -> fail Bad_number);
+    let fractional = peek () = Some '.' in
+    if fractional then begin
+      incr pos;
+      digits ()
+    end;
+    let exponent = match peek () with Some ('e' | 'E') -> true | _ -> false in
+    if exponent then begin
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    end;
+    let tok = String.sub s start (!pos - start) in
+    if not (fractional || exponent) then
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> Float (float_of_string tok) (* out of int range *)
+    else Float (float_of_string tok)
+  in
+  let rec value depth =
+    if depth > max_depth then fail (Too_deep max_depth);
+    skip_ws ();
+    match peek () with
+    | None -> fail Unexpected_end
+    | Some '"' ->
+        incr pos;
+        String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else
+          let rec items acc =
+            let v = value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List (List.rev (v :: acc))
+            | Some c -> fail (Unexpected_char c)
+            | None -> fail Unexpected_end
+          in
+          items []
+    | Some '{' ->
+        incr pos;
+        let field () =
+          skip_ws ();
+          (match peek () with
+          | Some '"' -> incr pos
+          | Some c -> fail (Unexpected_char c)
+          | None -> fail Unexpected_end);
+          let k = parse_string () in
+          skip_ws ();
+          (match peek () with
+          | Some ':' -> incr pos
+          | Some c -> fail (Unexpected_char c)
+          | None -> fail Unexpected_end);
+          (k, value (depth + 1))
+        in
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields (kv :: acc)
+            | Some '}' ->
+                incr pos;
+                Obj (List.rev (kv :: acc))
+            | Some c -> fail (Unexpected_char c)
+            | None -> fail Unexpected_end
+          in
+          fields []
+    | Some c -> fail (Unexpected_char c)
+  in
+  match
+    let v = value 1 in
+    skip_ws ();
+    if !pos <> len then fail Trailing_garbage;
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, failure) -> Error { at; failure }

@@ -1,0 +1,188 @@
+(* The dependency-free JSON parser that gives the service its wire
+   format: RFC 8259 unit coverage (tokens, strings with surrogate pairs,
+   the int/float split), the hardening guarantees (trailing-garbage
+   rejection, the typed deep-nesting bound), and the emit <-> parse
+   round-trip as a qcheck law over the whole [Json.t] type. *)
+
+module Json = Eba.Json
+open Helpers
+
+let json_testable =
+  Alcotest.testable
+    (fun fmt j -> Format.pp_print_string fmt (Json.to_string j))
+    ( = )
+
+let parses name input expected =
+  test name (fun () ->
+      match Json.parse input with
+      | Ok v -> Alcotest.check json_testable name expected v
+      | Error e -> Alcotest.failf "%s: parse failed: %s" name (Json.error_to_string e))
+
+let rejects name ?max_depth input expected_failure =
+  test name (fun () ->
+      match Json.parse ?max_depth input with
+      | Ok _ -> Alcotest.failf "%s: accepted %S" name input
+      | Error e ->
+          Alcotest.check Alcotest.string name
+            (Json.failure_to_string expected_failure)
+            (Json.failure_to_string e.Json.failure))
+
+let accept_tests =
+  [
+    parses "null" "null" Json.Null;
+    parses "true" "true" (Json.Bool true);
+    parses "false" "false" (Json.Bool false);
+    parses "zero" "0" (Json.Int 0);
+    parses "negative int" "-42" (Json.Int (-42));
+    parses "max_int stays an int" (string_of_int max_int) (Json.Int max_int);
+    parses "min_int stays an int" (string_of_int min_int) (Json.Int min_int);
+    parses "fraction is a float" "1.5" (Json.Float 1.5);
+    parses "exponent is a float" "1e2" (Json.Float 100.0);
+    parses "signed exponent" "-2.5E-1" (Json.Float (-0.25));
+    parses "integer token beyond 63 bits falls back to float"
+      "9223372036854775808"
+      (Json.Float 9.223372036854775808e18);
+    parses "plain string" {|"hello"|} (Json.String "hello");
+    parses "all single-char escapes" {|"\" \\ \/ \b \f \n \r \t"|}
+      (Json.String "\" \\ / \b \012 \n \r \t");
+    parses "unicode escape" {|"A\u00e9"|} (Json.String "A\xc3\xa9");
+    parses "surrogate pair" {|"\ud83d\ude00"|} (Json.String "\xf0\x9f\x98\x80");
+    parses "raw utf8 bytes pass through" "\"\xf0\x9f\x98\x80\""
+      (Json.String "\xf0\x9f\x98\x80");
+    parses "empty containers" "[[], {}]" (Json.List [ Json.List []; Json.Obj [] ]);
+    parses "whitespace everywhere" " { \"a\" :\t[ 1 ,\n2 ] } "
+      (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+    parses "nested object"
+      {|{"a": {"b": [true, null]}, "c": -1}|}
+      (Json.Obj
+         [
+           ("a", Json.Obj [ ("b", Json.List [ Json.Bool true; Json.Null ]) ]);
+           ("c", Json.Int (-1));
+         ]);
+    parses "duplicate keys kept in order" {|{"k": 1, "k": 2}|}
+      (Json.Obj [ ("k", Json.Int 1); ("k", Json.Int 2) ]);
+    parses "trailing newline is fine" "42\n" (Json.Int 42);
+  ]
+
+let reject_tests =
+  [
+    rejects "empty input" "" Json.Unexpected_end;
+    rejects "trailing garbage" "1 2" Json.Trailing_garbage;
+    rejects "trailing garbage after object" {|{"a": 1} x|} Json.Trailing_garbage;
+    rejects "two documents" "[1][2]" Json.Trailing_garbage;
+    rejects "unterminated string" {|"abc|} Json.Unexpected_end;
+    rejects "unterminated array" "[1, 2" Json.Unexpected_end;
+    rejects "bare word" "nope" (Json.Unexpected_char 'n');
+    rejects "single quote" "'x'" (Json.Unexpected_char '\'');
+    rejects "unknown escape" {|"\q"|} Json.Bad_escape;
+    rejects "truncated unicode escape" {|"\u00"|} Json.Bad_escape;
+    rejects "lone high surrogate" {|"\ud83d"|} Json.Bad_escape;
+    rejects "lone low surrogate" {|"\ude00"|} Json.Bad_escape;
+    rejects "raw control char in string" "\"a\nb\"" (Json.Unexpected_char '\n');
+    rejects "leading zero" "01" Json.Trailing_garbage;
+    rejects "bare minus" "-" Json.Bad_number;
+    rejects "dot without digits" "1." Json.Bad_number;
+    rejects "leading dot" ".5" (Json.Unexpected_char '.');
+    rejects "exponent without digits" "1e" Json.Bad_number;
+    rejects "plus sign" "+1" (Json.Unexpected_char '+');
+    rejects "missing comma" "[1 2]" (Json.Unexpected_char '2');
+    rejects "missing colon" {|{"a" 1}|} (Json.Unexpected_char '1');
+    rejects "non-string key" "{1: 2}" (Json.Unexpected_char '1');
+  ]
+
+let depth_tests =
+  let nested k = String.make k '[' ^ String.make k ']' in
+  [
+    test "depth bound is typed and positioned" (fun () ->
+        match Json.parse ~max_depth:8 (nested 9) with
+        | Error { Json.failure = Json.Too_deep 8; _ } -> ()
+        | Error e -> Alcotest.failf "wrong error: %s" (Json.error_to_string e)
+        | Ok _ -> Alcotest.fail "accepted nesting past the bound");
+    test "depth exactly at the bound is accepted" (fun () ->
+        check "depth 8 under max_depth 8" true
+          (Result.is_ok (Json.parse ~max_depth:8 (nested 8))));
+    test "default bound accepts deep-but-sane documents" (fun () ->
+        check "depth 100" true (Result.is_ok (Json.parse (nested 100))));
+    test "default bound stops the stack attack" (fun () ->
+        match Json.parse (nested 100_000) with
+        | Error { Json.failure = Json.Too_deep d; _ } ->
+            check_int "default bound" Json.default_max_depth d
+        | Error e -> Alcotest.failf "wrong error: %s" (Json.error_to_string e)
+        | Ok _ -> Alcotest.fail "accepted 100k nesting");
+  ]
+
+(* --- emit <-> parse round trip --- *)
+
+let gen_json =
+  let open QCheck2.Gen in
+  (* strings are raw bytes: anything the emitter can see, including
+     control characters and non-ASCII *)
+  let gen_string = string_size ~gen:char (int_bound 12) in
+  let gen_float =
+    (* finite only — the emitter renders non-finite floats as null by
+       design, which is a documented non-identity *)
+    map
+      (fun (mant, ex) -> ldexp mant ex)
+      (pair (float_bound_inclusive 1.0) (int_range (-60) 60))
+  in
+  let base =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun x -> Json.Float x) gen_float;
+        map (fun s -> Json.String s) gen_string;
+      ]
+  in
+  sized
+  @@ fix (fun self k ->
+         if k <= 0 then base
+         else
+           frequency
+             [
+               (2, base);
+               ( 1,
+                 map (fun xs -> Json.List xs)
+                   (list_size (int_bound 4) (self (k / 2))) );
+               ( 1,
+                 map (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair gen_string (self (k / 2)))) );
+             ])
+
+let roundtrip_tests =
+  [
+    qtest ~count:500 "emit then parse is the identity" gen_json (fun j ->
+        match Json.parse (Json.to_string j) with
+        | Ok j' -> j = j'
+        | Error e ->
+            QCheck2.Test.fail_reportf "parse failed: %s" (Json.error_to_string e));
+    qtest ~count:200 "parsing emitted output never hits the depth bound"
+      gen_json (fun j -> Result.is_ok (Json.parse (Json.to_string j)));
+  ]
+
+let file_tests =
+  [
+    test "to_file is atomic and rereadable" (fun () ->
+        let path = Filename.temp_file "eba_json" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let doc =
+              Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Float 0.5 ]) ]
+            in
+            Json.to_file path doc;
+            check "no temp litter" false
+              (Sys.file_exists
+                 (Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())));
+            let ic = open_in_bin path in
+            let len = in_channel_length ic in
+            let contents = really_input_string ic len in
+            close_in ic;
+            Alcotest.check json_testable "reread" doc
+              (Result.get_ok (Json.parse contents))));
+  ]
+
+let suite =
+  ("json", accept_tests @ reject_tests @ depth_tests @ roundtrip_tests @ file_tests)

@@ -1,0 +1,486 @@
+(* The resident agreement service, tested in-process: a daemon domain on
+   an ephemeral loopback port (or a temp Unix socket), real sockets in
+   between.
+
+   The load-bearing claims:
+   - framing survives arbitrary chunking, and oversize frames are typed
+     errors, not crashes;
+   - a served netsim-sweep / probcheck is byte-identical to the batch
+     CLI's JSON for the same request identity, at 1 worker and at 4;
+   - many simultaneous clients each get exactly their own answer;
+   - a full queue yields the typed busy reply on a connection that stays
+     usable, and a drain answers queued-but-unstarted work with
+     shutting-down instead of dropping it;
+   - a daemon restarts cleanly after both a graceful shutdown and a
+     kill that left a stale socket file behind. *)
+
+module Server = Eba.Server
+module Frame = Server.Frame
+module Protocol = Server.Protocol
+module Spec = Server.Spec
+module Client = Server.Client
+module Daemon = Server.Daemon
+module Req_queue = Server.Req_queue
+module Json = Eba.Json
+module Net = Eba.Net
+open Helpers
+
+let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then false
+    else String.sub s i n = sub || go (i + 1)
+  in
+  go 0
+
+(* --- fixtures --- *)
+
+let with_daemon ?(workers = 2) ?(queue_cap = 64) ?address f =
+  let address = Option.value address ~default:(Frame.Tcp 0) in
+  let ready = Atomic.make None in
+  let cfg = { Daemon.default_config with address; workers; queue_cap } in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~on_ready:(fun a -> Atomic.set ready (Some a)) cfg)
+  in
+  let rec wait tries =
+    match Atomic.get ready with
+    | Some a -> a
+    | None ->
+        if tries > 5000 then failwith "daemon did not come up"
+        else begin
+          Unix.sleepf 0.001;
+          wait (tries + 1)
+        end
+  in
+  let bound = wait 0 in
+  let shutdown () =
+    match Client.connect bound with
+    | exception Unix.Unix_error _ -> ()
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> ignore (Client.call c ~verb:"shutdown" ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown ();
+      Domain.join daemon)
+    (fun () -> f bound)
+
+let with_client bound f =
+  let c = Client.connect bound in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let temp_socket_path () =
+  let path = Filename.temp_file "eba_serve" ".sock" in
+  Sys.remove path;
+  path
+
+(* What the batch CLI emits for this sweep identity ([eba netsim
+   --json]): the shared [Spec] resolution, rendered by the one JSON
+   emitter. *)
+let cli_netsim_bytes spec =
+  match Spec.resolve spec with
+  | Error m -> Alcotest.failf "resolve failed: %s" m
+  | Ok r -> Json.to_string (Net.Net_stats.summary_json (Spec.run r))
+
+let served_result_bytes reply_payload =
+  match Json.parse reply_payload with
+  | Error e -> Alcotest.failf "reply not JSON: %s" (Json.error_to_string e)
+  | Ok json -> (
+      match Protocol.reply_of_json json with
+      | Ok (_, Protocol.Ok_result result) -> Json.to_string result
+      | Ok (_, Protocol.Busy_reply _) -> Alcotest.fail "unexpected busy reply"
+      | Ok (_, Protocol.Error_reply { message; _ }) ->
+          Alcotest.failf "error reply: %s" message
+      | Error m -> Alcotest.failf "bad reply envelope: %s" m)
+
+let sweep_params ~seed =
+  [
+    ("protocol", Json.String "floodset");
+    ("n", Json.Int 4);
+    ("t", Json.Int 1);
+    ("runs", Json.Int 5);
+    ("seed", Json.Int seed);
+  ]
+
+let sweep_spec ~seed =
+  { Spec.default with n = 4; t_failures = 1; runs = Some 5; seed }
+
+(* --- framing --- *)
+
+let frame_tests =
+  [
+    test "encode carries a big-endian length prefix" (fun () ->
+        let f = Frame.encode "abc" in
+        check_int "length" 7 (String.length f);
+        check_int "prefix" 3 (Char.code f.[3]);
+        check_str "payload" "abc" (String.sub f 4 3));
+    test "decoder reassembles frames fed one byte at a time" (fun () ->
+        let d = Frame.decoder () in
+        let stream = Frame.encode "hello" ^ Frame.encode "" ^ Frame.encode "world" in
+        let got = ref [] in
+        String.iter
+          (fun c ->
+            Frame.feed d (Bytes.make 1 c) ~len:1;
+            let rec drain () =
+              match Frame.next d with
+              | Ok (Some p) ->
+                  got := p :: !got;
+                  drain ()
+              | Ok None -> ()
+              | Error (`Oversize n) -> Alcotest.failf "oversize %d" n
+            in
+            drain ())
+          stream;
+        Alcotest.(check (list string))
+          "frames" [ "hello"; ""; "world" ] (List.rev !got));
+    test "decoder rejects oversize frames and stays poisoned" (fun () ->
+        let d = Frame.decoder ~max_frame:8 () in
+        let f = Frame.encode "123456789" in
+        Frame.feed d (Bytes.of_string f) ~len:(String.length f);
+        (match Frame.next d with
+        | Error (`Oversize 9) -> ()
+        | _ -> Alcotest.fail "expected oversize");
+        match Frame.next d with
+        | Error (`Oversize _) -> ()
+        | _ -> Alcotest.fail "decoder must stay poisoned");
+    test "request/reply envelope round trip" (fun () ->
+        let req =
+          Protocol.request ~id:(Json.Int 7) ~verb:"status"
+            ~params:[ ("x", Json.Int 1) ] ()
+        in
+        match Protocol.request_of_json req with
+        | Error m -> Alcotest.fail m
+        | Ok r ->
+            check_str "verb" "status" r.Protocol.verb;
+            (match
+               Protocol.reply_of_json
+                 (Protocol.busy ~id:r.Protocol.req_id ~depth:3 ~cap:3)
+             with
+            | Ok (Json.Int 7, Protocol.Busy_reply { depth = 3; cap = 3 }) -> ()
+            | _ -> Alcotest.fail "busy reply did not round-trip"));
+  ]
+
+(* --- the bounded queue --- *)
+
+let queue_tests =
+  [
+    test "try_push refuses at the cap with the observed depth" (fun () ->
+        let q = Req_queue.create ~cap:2 in
+        check "push 1" true (Req_queue.try_push q 1 = `Ok);
+        check "push 2" true (Req_queue.try_push q 2 = `Ok);
+        (match Req_queue.try_push q 3 with
+        | `Full 2 -> ()
+        | _ -> Alcotest.fail "expected `Full 2");
+        check_int "depth" 2 (Req_queue.depth q));
+    test "close hands back undrained items in order" (fun () ->
+        let q = Req_queue.create ~cap:4 in
+        ignore (Req_queue.try_push q 1);
+        ignore (Req_queue.try_push q 2);
+        check "pop" true (Req_queue.pop q = Some 1);
+        Alcotest.(check (list int)) "leftovers" [ 2 ] (Req_queue.close q);
+        check "closed pop" true (Req_queue.pop q = None);
+        check "closed push" true (Req_queue.try_push q 9 = `Closed));
+  ]
+
+(* --- spec interpretation (shared CLI/daemon semantics) --- *)
+
+let spec_tests =
+  [
+    test "unknown params field is an error, not a default" (fun () ->
+        match Spec.of_json (Json.Obj [ ("sede", Json.Int 7) ]) with
+        | Error m -> check "names the field" true (contains m "sede")
+        | Ok _ -> Alcotest.fail "typo accepted");
+    test "to_params / of_json round trip" (fun () ->
+        let spec =
+          {
+            Spec.default with
+            protocol = "p0opt";
+            compact = true;
+            n = 8;
+            t_failures = 2;
+            seed = 42;
+            runs = Some 7;
+            mux = Spec.Mux_auto;
+            loss = 0.1;
+          }
+        in
+        match Spec.of_json (Json.Obj (Spec.to_params spec)) with
+        | Ok spec' -> check "round trip" true (spec = spec')
+        | Error m -> Alcotest.fail m);
+    test "runs defaults: 100 plain, the wave size under --mux K" (fun () ->
+        let r s = Result.get_ok (Spec.resolve s) in
+        check_int "plain" 100 (r Spec.default).Spec.r_runs;
+        let mux7 = { Spec.default with mux = Spec.Mux_live 7 } in
+        check_int "mux 7" 7 (r mux7).Spec.r_runs;
+        check_int "mux auto" 100
+          (r { Spec.default with mux = Spec.Mux_auto }).Spec.r_runs);
+    test "mux auto resolves to the measured peak, clamped" (fun () ->
+        check_int "peak" 16 (Net.Mux.auto_live ~runs:100);
+        check_int "clamped to runs" 5 (Net.Mux.auto_live ~runs:5);
+        check_int "floor" 1 (Net.Mux.auto_live ~runs:0);
+        let resolved =
+          Result.get_ok
+            (Spec.resolve
+               { (sweep_spec ~seed:3) with runs = Some 40; mux = Spec.Mux_auto })
+        in
+        check "auto = 16 at 40 runs" true (resolved.Spec.r_mux = Some 16));
+    test "mux auto sweep is byte-identical to explicit 16 and to off"
+      (fun () ->
+        let bytes mux =
+          cli_netsim_bytes { (sweep_spec ~seed:11) with runs = Some 40; mux }
+        in
+        let auto = bytes Spec.Mux_auto in
+        check_str "auto = mux 16" auto (bytes (Spec.Mux_live 16));
+        check_str "auto = sequential" auto (bytes Spec.Mux_off));
+  ]
+
+(* --- served vs CLI byte identity --- *)
+
+let differential_tests =
+  let served_sweep ~workers ~seed =
+    with_daemon ~workers (fun bound ->
+        with_client bound (fun c ->
+            match
+              Client.raw_call c ~id:(Json.Int 1) ~verb:"netsim-sweep"
+                ~params:(sweep_params ~seed) ()
+            with
+            | Ok payload -> served_result_bytes payload
+            | Error m -> Alcotest.fail m))
+  in
+  [
+    test "served sweep = CLI bytes (1 worker)" (fun () ->
+        check_str "bytes" (cli_netsim_bytes (sweep_spec ~seed:5))
+          (served_sweep ~workers:1 ~seed:5));
+    test "served sweep = CLI bytes (4 workers)" (fun () ->
+        check_str "bytes" (cli_netsim_bytes (sweep_spec ~seed:5))
+          (served_sweep ~workers:4 ~seed:5));
+    test "served probcheck = CLI bytes" (fun () ->
+        let spec = { Spec.Probcheck.default with n = 4; loss = "0.05" } in
+        let expected =
+          Json.to_string
+            (Eba.Prob.Report.to_json
+               (Result.get_ok (Spec.Probcheck.report spec)))
+        in
+        with_daemon (fun bound ->
+            with_client bound (fun c ->
+                match
+                  Client.raw_call c ~verb:"probcheck"
+                    ~params:
+                      [ ("n", Json.Int 4); ("loss", Json.String "0.05") ]
+                    ()
+                with
+                | Ok payload ->
+                    check_str "bytes" expected (served_result_bytes payload)
+                | Error m -> Alcotest.fail m)));
+    test "served knowledge-query matches the semantic layer" (fun () ->
+        with_daemon (fun bound ->
+            with_client bound (fun c ->
+                match
+                  Client.call c ~verb:"knowledge-query"
+                    ~params:[ ("protocol", Json.String "p0") ]
+                    ()
+                with
+                | Ok (_, Protocol.Ok_result (Json.Obj fields)) ->
+                    check "eba" true
+                      (List.assoc_opt "eba" fields = Some (Json.Bool true));
+                    check "optimal" true
+                      (List.assoc_opt "optimal" fields
+                      = Some (Json.Bool false))
+                | Ok _ -> Alcotest.fail "expected ok object"
+                | Error m -> Alcotest.fail m)));
+    test "bad requests are typed errors on a live connection" (fun () ->
+        with_daemon (fun bound ->
+            with_client bound (fun c ->
+                (match
+                   Client.call c ~verb:"netsim-sweep"
+                     ~params:[ ("sede", Json.Int 1) ]
+                     ()
+                 with
+                | Ok (_, Protocol.Error_reply { code = Protocol.Bad_request; _ })
+                  -> ()
+                | _ -> Alcotest.fail "expected bad-request");
+                (match Client.call c ~verb:"frobnicate" () with
+                | Ok (_, Protocol.Error_reply { code = Protocol.Unknown_verb; _ })
+                  -> ()
+                | _ -> Alcotest.fail "expected unknown-verb");
+                match Client.call c ~verb:"status" () with
+                | Ok (_, Protocol.Ok_result _) -> ()
+                | _ -> Alcotest.fail "connection must survive the errors")));
+  ]
+
+(* --- concurrency --- *)
+
+let concurrency_tests =
+  [
+    test "8 interleaved clients each get exactly their answer" (fun () ->
+        with_daemon ~workers:4 (fun bound ->
+            let expected seed = cli_netsim_bytes (sweep_spec ~seed) in
+            let client seed () =
+              with_client bound (fun c ->
+                  match
+                    Client.raw_call c ~id:(Json.Int seed) ~verb:"netsim-sweep"
+                      ~params:(sweep_params ~seed) ()
+                  with
+                  | Ok payload -> (seed, served_result_bytes payload)
+                  | Error m -> failwith m)
+            in
+            let domains =
+              List.init 8 (fun i -> Domain.spawn (client (100 + i)))
+            in
+            List.iter
+              (fun d ->
+                let seed, got = Domain.join d in
+                check_str (Printf.sprintf "seed %d" seed) (expected seed) got)
+              domains));
+    test "pipelined requests on one connection all come back" (fun () ->
+        with_daemon ~workers:2 (fun bound ->
+            with_client bound (fun c ->
+                let ids = [ 1; 2; 3; 4 ] in
+                List.iter
+                  (fun i ->
+                    Client.send c
+                      (Protocol.request ~id:(Json.Int i) ~verb:"netsim-sweep"
+                         ~params:(sweep_params ~seed:i) ()))
+                  ids;
+                let got =
+                  List.map
+                    (fun _ ->
+                      match Client.recv_json c with
+                      | Ok json -> (
+                          match Protocol.reply_of_json json with
+                          | Ok (Json.Int i, Protocol.Ok_result _) -> i
+                          | _ -> Alcotest.fail "expected ok with int id")
+                      | Error m -> Alcotest.fail m)
+                    ids
+                in
+                Alcotest.(check (list int))
+                  "all ids answered" ids (List.sort compare got))));
+  ]
+
+(* --- backpressure and drain --- *)
+
+let backpressure_tests =
+  [
+    test "full queue: typed busy reply, connection stays open, drain \
+          answers the queued jobs"
+      (fun () ->
+        (* workers:0 never drains the queue, so cap 2 fills
+           deterministically: requests 1 and 2 occupy the slots, request
+           3 bounces with busy, and the shutdown drain answers 1 and 2
+           with shutting-down. *)
+        with_daemon ~workers:0 ~queue_cap:2 (fun bound ->
+            with_client bound (fun c ->
+                List.iter
+                  (fun i ->
+                    Client.send c
+                      (Protocol.request ~id:(Json.Int i) ~verb:"netsim-sweep"
+                         ~params:(sweep_params ~seed:i) ()))
+                  [ 1; 2; 3 ];
+                (match Client.recv_json c with
+                | Ok json -> (
+                    match Protocol.reply_of_json json with
+                    | Ok (Json.Int 3, Protocol.Busy_reply { depth = 2; cap = 2 })
+                      -> ()
+                    | _ -> Alcotest.fail "expected busy for request 3")
+                | Error m -> Alcotest.fail m);
+                (* the connection survived: an admin verb still answers *)
+                Client.send c
+                  (Protocol.request ~id:(Json.Int 9) ~verb:"status" ());
+                (match Client.recv_json c with
+                | Ok json -> (
+                    match Protocol.reply_of_json json with
+                    | Ok (Json.Int 9, Protocol.Ok_result (Json.Obj fields)) ->
+                        check "queue_depth" true
+                          (List.assoc_opt "queue_depth" fields
+                          = Some (Json.Int 2))
+                    | _ -> Alcotest.fail "expected status ok")
+                | Error m -> Alcotest.fail m);
+                (* drain: the two queued jobs get shutting-down replies *)
+                Client.send c
+                  (Protocol.request ~id:(Json.Int 10) ~verb:"shutdown" ());
+                let replies =
+                  List.map
+                    (fun _ ->
+                      match Client.recv_json c with
+                      | Ok json -> Result.get_ok (Protocol.reply_of_json json)
+                      | Error m -> Alcotest.fail m)
+                    [ (); (); () ]
+                in
+                let aborted =
+                  List.filter_map
+                    (function
+                      | ( Json.Int i,
+                          Protocol.Error_reply
+                            { code = Protocol.Shutting_down; _ } ) ->
+                          Some i
+                      | _ -> None)
+                    replies
+                in
+                Alcotest.(check (list int))
+                  "queued jobs answered on drain" [ 1; 2 ]
+                  (List.sort compare aborted))));
+  ]
+
+(* --- restart and stale sockets --- *)
+
+let restart_tests =
+  [
+    test "stale socket file from a killed daemon is recovered" (fun () ->
+        let path = temp_socket_path () in
+        (* a bind+close without unlink is exactly what a SIGKILLed daemon
+           leaves behind: the file exists, connects are refused *)
+        let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind dead (Unix.ADDR_UNIX path);
+        Unix.listen dead 1;
+        Unix.close dead;
+        check "litter exists" true (Sys.file_exists path);
+        let fd = Frame.listen (Frame.Unix_socket path) in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close fd;
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          (fun () -> check "rebound" true (Sys.file_exists path)));
+    test "a live daemon's socket is never stolen" (fun () ->
+        let path = temp_socket_path () in
+        with_daemon ~address:(Frame.Unix_socket path) (fun _ ->
+            match Frame.listen (Frame.Unix_socket path) with
+            | fd ->
+                Unix.close fd;
+                Alcotest.fail "second daemon bound a live socket"
+            | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()));
+    test "a non-socket file is never unlinked" (fun () ->
+        let path = Filename.temp_file "eba_serve" ".notasock" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            (match Frame.listen (Frame.Unix_socket path) with
+            | fd ->
+                Unix.close fd;
+                Alcotest.fail "bound over a regular file"
+            | exception Invalid_argument _ -> ());
+            check "file untouched" true (Sys.file_exists path)));
+    test "graceful shutdown unlinks the socket; restart binds it again"
+      (fun () ->
+        let path = temp_socket_path () in
+        let serve_once () =
+          with_daemon ~address:(Frame.Unix_socket path) (fun bound ->
+              with_client bound (fun c ->
+                  match Client.call c ~verb:"status" () with
+                  | Ok (_, Protocol.Ok_result _) -> ()
+                  | _ -> Alcotest.fail "status failed"))
+        in
+        serve_once ();
+        check "socket unlinked after drain" false (Sys.file_exists path);
+        (* the restart-after-kill scenario, end to end *)
+        serve_once ());
+  ]
+
+let suite =
+  ( "server",
+    frame_tests @ queue_tests @ spec_tests @ differential_tests
+    @ concurrency_tests @ backpressure_tests @ restart_tests )
