@@ -577,10 +577,10 @@ let serve_cmd =
     else begin
       let cfg =
         {
-          Eba.Server.Daemon.address;
+          Eba.Server.Daemon.default_config with
+          address;
           workers;
           queue_cap;
-          max_frame = Eba.Server.Frame.default_max_frame;
           handle_signals = true;
         }
       in

@@ -6,6 +6,7 @@ type config = {
   workers : int;
   queue_cap : int;
   max_frame : int;
+  max_conns : int;
   handle_signals : bool;
 }
 
@@ -15,6 +16,7 @@ let default_config =
     workers = 4;
     queue_cap = 64;
     max_frame = Frame.default_max_frame;
+    max_conns = 900;
     handle_signals = false;
   }
 
@@ -22,6 +24,9 @@ type conn = {
   fd : Unix.file_descr;
   cid : int;
   dec : Frame.decoder;
+  out : string Queue.t;  (* encoded frames not yet fully on the wire *)
+  mutable out_off : int;  (* bytes of the queue head already written *)
+  mutable out_pending : int;  (* unwritten bytes across the whole queue *)
   mutable alive : bool;
 }
 
@@ -49,18 +54,52 @@ let all_verbs = Registry.verbs @ [ "status"; "shutdown" ]
 
 (* --- replies (every socket write goes through here, on the loop thread) --- *)
 
-let send conn json =
-  if conn.alive then
-    match Frame.write_frame conn.fd (Json.to_string json) with
-    | () -> ()
-    | exception Unix.Unix_error _ -> conn.alive <- false
-
 let close_conn st conn =
   if conn.alive then begin
     conn.alive <- false;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   end;
   Hashtbl.remove st.conns conn.cid
+
+(* Connection sockets are non-blocking: a write takes whatever the kernel
+   will buffer and the rest waits in [conn.out] for select writability,
+   so one client that stops reading its replies can never stall the loop
+   (and with it every other connection). *)
+let rec flush_out st conn =
+  if conn.alive && conn.out_pending > 0 then begin
+    let head = Queue.peek conn.out in
+    let len = String.length head - conn.out_off in
+    match Unix.write_substring conn.fd head conn.out_off len with
+    | wrote ->
+        conn.out_pending <- conn.out_pending - wrote;
+        if wrote = len then begin
+          ignore (Queue.pop conn.out);
+          conn.out_off <- 0;
+          flush_out st conn
+        end
+        else conn.out_off <- conn.out_off + wrote
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()  (* kernel buffer full: the rest waits for writability *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_out st conn
+    | exception Unix.Unix_error _ ->
+        (* EPIPE (SIGPIPE is ignored — {!Frame.ignore_sigpipe}),
+           ECONNRESET, ...: the peer is gone *)
+        close_conn st conn
+  end
+
+(* A reader this many bytes behind is not coming back; cut it loose
+   rather than buffer its replies without bound. *)
+let max_reply_backlog cfg = 2 * cfg.max_frame
+
+let send st conn json =
+  if conn.alive then begin
+    let frame = Frame.encode (Json.to_string json) in
+    Queue.push frame conn.out;
+    conn.out_pending <- conn.out_pending + String.length frame;
+    flush_out st conn;
+    if conn.alive && conn.out_pending > max_reply_backlog st.cfg then
+      close_conn st conn
+  end
 
 (* --- completion channel (worker side is [push_completion]) --- *)
 
@@ -83,7 +122,7 @@ let drain_completions st =
   List.iter
     (fun (cid, reply) ->
       match Hashtbl.find_opt st.conns cid with
-      | Some conn -> send conn reply
+      | Some conn -> send st conn reply
       | None -> ())
     pending
 
@@ -107,24 +146,24 @@ let dispatch st conn (req : Protocol.request) =
   Metrics.incr requests_counter;
   let id = req.Protocol.req_id in
   match req.Protocol.verb with
-  | "status" -> send conn (Protocol.ok ~id (status_result st))
+  | "status" -> send st conn (Protocol.ok ~id (status_result st))
   | "shutdown" ->
-      send conn (Protocol.ok ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
+      send st conn (Protocol.ok ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
       Atomic.set st.stop true
   | verb -> (
       if st.draining then
-        send conn
+        send st conn
           (Protocol.error ~id Protocol.Shutting_down
              "daemon is draining; not accepting new work")
       else
         match Registry.prepare ~verb ~params:req.Protocol.params with
         | Error `Unknown_verb ->
-            send conn
+            send st conn
               (Protocol.error ~id Protocol.Unknown_verb
                  (Printf.sprintf "unknown verb %S (have: %s)" verb
                     (String.concat ", " all_verbs)))
         | Error (`Bad_request msg) ->
-            send conn (Protocol.error ~id Protocol.Bad_request msg)
+            send st conn (Protocol.error ~id Protocol.Bad_request msg)
         | Ok thunk ->
             let job =
               {
@@ -144,22 +183,23 @@ let dispatch st conn (req : Protocol.request) =
             | `Ok -> ()
             | `Full depth ->
                 Metrics.incr busy_counter;
-                send conn
+                send st conn
                   (Protocol.busy ~id ~depth ~cap:(Req_queue.cap st.queue))
             | `Closed ->
-                send conn
+                send st conn
                   (Protocol.error ~id Protocol.Shutting_down
                      "daemon is draining; not accepting new work")))
 
 let handle_frame st conn payload =
   match Json.parse payload with
   | Error e ->
-      send conn
+      send st conn
         (Protocol.error ~id:Json.Null Protocol.Bad_request
            ("frame is not valid JSON: " ^ Json.error_to_string e))
   | Ok json -> (
       match Protocol.request_of_json json with
-      | Error msg -> send conn (Protocol.error ~id:Json.Null Protocol.Bad_request msg)
+      | Error msg ->
+          send st conn (Protocol.error ~id:Json.Null Protocol.Bad_request msg)
       | Ok req -> dispatch st conn req)
 
 let read_chunk_size = 65536
@@ -168,7 +208,12 @@ let handle_readable st conn =
   let buf = Bytes.create read_chunk_size in
   match Unix.read conn.fd buf 0 read_chunk_size with
   | 0 -> close_conn st conn
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()  (* spurious wakeup / interrupted read: select will re-report *)
+  | exception Unix.Unix_error _ ->
+      (* ECONNRESET, ETIMEDOUT, ...: any other error on a connection
+         socket means that connection, never the loop *)
       close_conn st conn
   | len ->
       Frame.feed conn.dec buf ~len;
@@ -180,7 +225,7 @@ let handle_readable st conn =
               handle_frame st conn payload;
               frames ()
           | Error (`Oversize n) ->
-              send conn
+              send st conn
                 (Protocol.error ~id:Json.Null Protocol.Bad_request
                    (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap"
                       n st.cfg.max_frame));
@@ -193,10 +238,19 @@ let accept_conn st listen_fd =
   | exception Unix.Unix_error _ -> ()
   | fd, _ ->
       Unix.set_close_on_exec fd;
+      Unix.set_nonblock fd;
       let cid = st.next_cid in
       st.next_cid <- cid + 1;
       Hashtbl.replace st.conns cid
-        { fd; cid; dec = Frame.decoder ~max_frame:st.cfg.max_frame (); alive = true }
+        {
+          fd;
+          cid;
+          dec = Frame.decoder ~max_frame:st.cfg.max_frame ();
+          out = Queue.create ();
+          out_off = 0;
+          out_pending = 0;
+          alive = true;
+        }
 
 (* --- drain --- *)
 
@@ -213,6 +267,31 @@ let close_listener st =
           try Unix.unlink path with Unix.Unix_error _ -> ())
       | Frame.Tcp _ -> ())
 
+(* Best-effort delivery of buffered replies before the final close,
+   bounded by a deadline so one dead peer cannot hold up shutdown. *)
+let drain_flush_deadline_ns = 5_000_000_000L
+
+let flush_remaining st =
+  let deadline = Int64.add (Monotonic_clock.now ()) drain_flush_deadline_ns in
+  let rec go () =
+    let waiting =
+      Hashtbl.fold
+        (fun _ c acc -> if c.alive && c.out_pending > 0 then c :: acc else acc)
+        st.conns []
+    in
+    if waiting <> [] && Int64.compare (Monotonic_clock.now ()) deadline < 0
+    then begin
+      (match Unix.select [] (List.map (fun c -> c.fd) waiting) [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | _, writable, _ ->
+          List.iter
+            (fun c -> if List.mem c.fd writable then flush_out st c)
+            waiting);
+      go ()
+    end
+  in
+  go ()
+
 let drain st =
   st.draining <- true;
   close_listener st;
@@ -226,17 +305,23 @@ let drain st =
      pipe write is tiny and we drain everything right after the join *)
   Option.iter Pool.join st.pool;
   drain_completions st;
+  flush_remaining st;
   let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) st.conns [] in
   List.iter (close_conn st) remaining
 
 (* --- the loop --- *)
 
+(* [pipe_r] is non-blocking, so reading it dry is safe even when the
+   pending nudge bytes are an exact multiple of the buffer size — a
+   blocking fd would wedge the loop on that follow-up read. *)
 let drain_pipe st =
   let buf = Bytes.create 256 in
   let rec go () =
     match Unix.read st.pipe_r buf 0 256 with
-    | 256 -> go ()
-    | _ -> ()
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
 
@@ -244,28 +329,45 @@ let serve st =
   let rec loop () =
     if Atomic.get st.stop then ()
     else begin
-      let conn_fds =
-        Hashtbl.fold (fun _ c acc -> if c.alive then c.fd :: acc else acc)
-          st.conns []
-      in
-      let read_set =
-        (st.pipe_r :: conn_fds)
-        @ match st.listen_fd with Some fd -> [ fd ] | None -> []
-      in
-      match Unix.select read_set [] [] 1.0 with
+      let read_fds = ref [ st.pipe_r ] in
+      let write_fds = ref [] in
+      Hashtbl.iter
+        (fun _ c ->
+          if c.alive then begin
+            read_fds := c.fd :: !read_fds;
+            if c.out_pending > 0 then write_fds := c.fd :: !write_fds
+          end)
+        st.conns;
+      (* stop watching the listener at the connection cap: Unix.select
+         is limited to FD_SETSIZE descriptors, so accepts beyond the cap
+         wait in the kernel backlog until a slot frees *)
+      (match st.listen_fd with
+      | Some fd when Hashtbl.length st.conns < st.cfg.max_conns ->
+          read_fds := fd :: !read_fds
+      | _ -> ());
+      match Unix.select !read_fds !write_fds [] 1.0 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | ready, _, _ ->
-          if List.mem st.pipe_r ready then begin
+      | ready_r, ready_w, _ ->
+          if List.mem st.pipe_r ready_r then begin
             drain_pipe st;
             drain_completions st
           end;
+          let writable_conns =
+            Hashtbl.fold
+              (fun _ c acc ->
+                if c.alive && List.mem c.fd ready_w then c :: acc else acc)
+              st.conns []
+          in
+          List.iter
+            (fun c -> if c.alive then flush_out st c)
+            writable_conns;
           (match st.listen_fd with
-          | Some lfd when List.mem lfd ready -> accept_conn st lfd
+          | Some lfd when List.mem lfd ready_r -> accept_conn st lfd
           | _ -> ());
           let ready_conns =
             Hashtbl.fold
               (fun _ c acc ->
-                if c.alive && List.mem c.fd ready then c :: acc else acc)
+                if c.alive && List.mem c.fd ready_r then c :: acc else acc)
               st.conns []
           in
           List.iter (fun c -> if c.alive then handle_readable st c) ready_conns;
@@ -291,8 +393,11 @@ let with_signals st enabled f =
 
 let run ?on_ready cfg =
   if cfg.queue_cap < 1 then invalid_arg "Daemon.run: queue_cap must be >= 1";
+  if cfg.max_conns < 1 then invalid_arg "Daemon.run: max_conns must be >= 1";
   let listen_fd = Frame.listen cfg.address in
+  Unix.set_nonblock listen_fd;
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock pipe_r;
   let queue = Req_queue.create ~cap:cfg.queue_cap in
   let st =
     {

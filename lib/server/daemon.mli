@@ -22,6 +22,21 @@
     connection.  Every socket write happens on the loop thread, so
     frames never interleave.
 
+    {2 Misbehaving peers}
+
+    The loop must outlive any client, so nothing a peer does may block
+    or kill it.  Connection sockets are non-blocking: replies are
+    buffered per connection and flushed as [select] reports
+    writability, so a client that pipelines requests but stops reading
+    stalls only itself — a reader more than two frame-caps behind is
+    disconnected rather than buffered without bound.  [SIGPIPE] is
+    ignored ({!Frame.ignore_sigpipe}), so a peer that closes before
+    reading its reply produces an [EPIPE] handled as a connection
+    close.  Any other [Unix_error] on a connection read or write also
+    closes just that connection.  Accepts stop at [max_conns] open
+    connections (keeping the [select] sets inside [FD_SETSIZE]);
+    further connects wait in the kernel backlog until a slot frees.
+
     {2 Graceful drain}
 
     [SIGINT], [SIGTERM] (when [handle_signals]) and the [shutdown] verb
@@ -41,6 +56,10 @@ type config = {
       (** worker domains; [0] = accept-only (see {!Pool.create}) *)
   queue_cap : int;  (** bounded queue slots, >= 1 *)
   max_frame : int;  (** per-frame byte cap for reads *)
+  max_conns : int;
+      (** open-connection cap, >= 1 — accepts beyond it wait in the
+          listen backlog; keep below [FD_SETSIZE] (1024) minus
+          headroom, or [Unix.select] fails with [EINVAL] *)
   handle_signals : bool;
       (** install SIGINT/SIGTERM drain handlers — process-global, so
           only the CLI sets this; in-process daemons (tests, bench) use
@@ -49,7 +68,7 @@ type config = {
 
 val default_config : config
 (** Unix socket ["eba.sock"], 4 workers, 64 queue slots, the default
-    frame cap, no signal handlers. *)
+    frame cap, 900 connections, no signal handlers. *)
 
 val run : ?on_ready:(Frame.address -> unit) -> config -> unit
 (** Bind, serve until drained, clean up, return.  [on_ready] fires once

@@ -112,6 +112,20 @@ let next d =
 
 (* --- sockets --- *)
 
+(* Writing to a socket whose peer has gone delivers SIGPIPE before the
+   write can fail with EPIPE; with the default disposition that kills
+   the whole process.  Every transport user — daemon, client, bench —
+   wants the error, not the signal, so [listen] and [connect] both
+   force the disposition (idempotently) before handing out a socket. *)
+let ignore_sigpipe =
+  let forced = ref false in
+  fun () ->
+    if not !forced then begin
+      forced := true;
+      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+      with Invalid_argument _ -> ()  (* platform without SIGPIPE *)
+    end
+
 let socket_of = function
   | Unix_socket _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
   | Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
@@ -146,6 +160,7 @@ let remove_stale_socket path =
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let listen ?(backlog = 64) address =
+  ignore_sigpipe ();
   (match address with
   | Unix_socket path -> remove_stale_socket path
   | Tcp _ -> ());
@@ -170,6 +185,7 @@ let bound_address fd = function
       | Unix.ADDR_UNIX path -> Unix_socket path)
 
 let connect address =
+  ignore_sigpipe ();
   let fd = socket_of address in
   (try
      Unix.set_close_on_exec fd;

@@ -59,6 +59,14 @@ val buffered : decoder -> int
 
 (** {1 Sockets} *)
 
+val ignore_sigpipe : unit -> unit
+(** Set [SIGPIPE] to ignored (process-global, idempotent, a no-op on
+    platforms without the signal) so a write to a peer that has closed
+    fails with the [EPIPE] [Unix.Unix_error] instead of killing the
+    process.  {!listen} and {!connect} call this before returning a
+    socket; it is exposed for programs that write to descriptors they
+    obtained some other way. *)
+
 val listen : ?backlog:int -> address -> Unix.file_descr
 (** Bind and listen.  For {!Unix_socket}, recovers from a {e stale}
     socket file: if the path holds a socket nobody is accepting on (a

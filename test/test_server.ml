@@ -37,10 +37,15 @@ let contains s sub =
 
 (* --- fixtures --- *)
 
-let with_daemon ?(workers = 2) ?(queue_cap = 64) ?address f =
+let with_daemon ?(workers = 2) ?(queue_cap = 64) ?max_conns ?address f =
   let address = Option.value address ~default:(Frame.Tcp 0) in
   let ready = Atomic.make None in
-  let cfg = { Daemon.default_config with address; workers; queue_cap } in
+  let max_conns =
+    Option.value max_conns ~default:Daemon.default_config.Daemon.max_conns
+  in
+  let cfg =
+    { Daemon.default_config with address; workers; queue_cap; max_conns }
+  in
   let daemon =
     Domain.spawn (fun () ->
         Daemon.run ~on_ready:(fun a -> Atomic.set ready (Some a)) cfg)
@@ -426,6 +431,82 @@ let backpressure_tests =
                   (List.sort compare aborted))));
   ]
 
+(* --- misbehaving peers: the daemon must outlive its clients --- *)
+
+let robustness_tests =
+  [
+    test "a client that closes before reading its reply cannot kill the \
+          daemon"
+      (fun () ->
+        (* status is answered inline, so the reply write lands on a peer
+           that already closed: with the default signal disposition that
+           is SIGPIPE and instant death, with it ignored it is an EPIPE
+           handled as a connection close *)
+        let path = temp_socket_path () in
+        with_daemon ~address:(Frame.Unix_socket path) (fun bound ->
+            for i = 1 to 5 do
+              let c = Client.connect bound in
+              Client.send c
+                (Protocol.request ~id:(Json.Int i) ~verb:"status" ());
+              Client.close c
+            done;
+            Unix.sleepf 0.05;
+            with_client bound (fun c ->
+                match Client.call c ~verb:"status" () with
+                | Ok (_, Protocol.Ok_result _) -> ()
+                | _ -> Alcotest.fail "daemon died after an early disconnect")));
+    test "a slow reader is buffered per connection, not allowed to stall \
+          the loop"
+      (fun () ->
+        (* pipeline far more replies than a unix-socket buffer holds
+           without reading any; the daemon must keep serving another
+           client meanwhile, then deliver every reply in order *)
+        let path = temp_socket_path () in
+        with_daemon ~address:(Frame.Unix_socket path) (fun bound ->
+            with_client bound (fun slow ->
+                let n = 3000 in
+                for i = 1 to n do
+                  Client.send slow
+                    (Protocol.request ~id:(Json.Int i) ~verb:"status" ())
+                done;
+                with_client bound (fun c ->
+                    match Client.call c ~verb:"status" () with
+                    | Ok (_, Protocol.Ok_result _) -> ()
+                    | _ ->
+                        Alcotest.fail
+                          "daemon stalled behind a backlogged peer");
+                for i = 1 to n do
+                  match Client.recv_json slow with
+                  | Ok json -> (
+                      match Protocol.reply_of_json json with
+                      | Ok (Json.Int j, Protocol.Ok_result _) when j = i -> ()
+                      | _ -> Alcotest.failf "reply %d: wrong id or kind" i)
+                  | Error m -> Alcotest.failf "reply %d: %s" i m
+                done)));
+    test "accepts beyond max_conns wait in the backlog until a slot frees"
+      (fun () ->
+        with_daemon ~max_conns:1 (fun bound ->
+            let first = Client.connect bound in
+            (match Client.call first ~verb:"status" () with
+            | Ok (_, Protocol.Ok_result _) -> ()
+            | _ -> Alcotest.fail "first client refused");
+            let second = Client.connect bound in
+            Fun.protect
+              ~finally:(fun () -> Client.close second)
+              (fun () ->
+                Client.send second
+                  (Protocol.request ~id:(Json.Int 2) ~verb:"status" ());
+                (* only closing the first connection frees its slot and
+                   lets the daemon accept (and answer) the second *)
+                Client.close first;
+                match Client.recv_json second with
+                | Ok json -> (
+                    match Protocol.reply_of_json json with
+                    | Ok (Json.Int 2, Protocol.Ok_result _) -> ()
+                    | _ -> Alcotest.fail "expected status ok for request 2")
+                | Error m -> Alcotest.fail m)));
+  ]
+
 (* --- restart and stale sockets --- *)
 
 let restart_tests =
@@ -483,4 +564,5 @@ let restart_tests =
 let suite =
   ( "server",
     frame_tests @ queue_tests @ spec_tests @ differential_tests
-    @ concurrency_tests @ backpressure_tests @ restart_tests )
+    @ concurrency_tests @ backpressure_tests @ robustness_tests
+    @ restart_tests )
