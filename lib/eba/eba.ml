@@ -25,6 +25,7 @@ module Bigint = Eba_util.Bigint
 module Procset = Eba_util.Procset
 module Combi = Eba_util.Combi
 module Parallel = Eba_util.Parallel
+module Cancel = Eba_util.Cancel
 module Metrics = Eba_util.Metrics
 module Json = Eba_util.Json
 

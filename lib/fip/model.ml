@@ -290,8 +290,8 @@ let build_shared_seq ~flavour (params : Params.t) configs =
   end;
   finish params store (Array.of_list (List.rev !runs))
 
-let build_shared_sharded ?(flavour = Universe.Exhaustive) (params : Params.t)
-    configs =
+let build_shared_sharded ?(flavour = Universe.Exhaustive) ?jobs
+    (params : Params.t) configs =
   Metrics.time s_build @@ fun () ->
   let n = params.Params.n and horizon = params.Params.horizon in
   let configs = Array.of_list configs in
@@ -320,7 +320,7 @@ let build_shared_sharded ?(flavour = Universe.Exhaustive) (params : Params.t)
   let run_shard = Array.make (max 1 nruns) 0 in
   let item_nodes = Array.make (max 1 nitems) 0 in
   Metrics.time s_simulate (fun () ->
-      Parallel.parallel_for nitems (fun it ->
+      Parallel.parallel_for ?jobs nitems (fun it ->
           let store = stores.(it) in
           let levels =
             Array.init (horizon + 1) (fun _ -> Array.make (nconfigs * n) (-1))
@@ -411,16 +411,18 @@ let build_shared_sharded ?(flavour = Universe.Exhaustive) (params : Params.t)
    into the final store (no private stores, no merge) and is still
    bit-identical by construction.  With several jobs the forest's depth-1
    subtrees go through the shard-and-renumber path above. *)
-let build_shared ~flavour (params : Params.t) configs =
-  if Parallel.jobs () <= 1 then build_shared_seq ~flavour params configs
-  else build_shared_sharded ~flavour params configs
+let build_shared ?jobs ~flavour (params : Params.t) configs =
+  let effective = match jobs with Some j when j > 0 -> j | _ -> Parallel.jobs () in
+  if effective <= 1 then build_shared_seq ~flavour params configs
+  else build_shared_sharded ~flavour ?jobs params configs
 
-let build ?(flavour = Universe.Exhaustive) ?configs ?builder (params : Params.t) =
+let build ?(flavour = Universe.Exhaustive) ?configs ?builder ?jobs
+    (params : Params.t) =
   let configs =
     match configs with Some cs -> cs | None -> Config.all ~n:params.Params.n
   in
   match Option.value builder ~default:(current_builder ()) with
-  | Shared -> build_shared ~flavour params configs
+  | Shared -> build_shared ?jobs ~flavour params configs
   | Naive -> build_of_configs_patterns params configs (Universe.patterns ~flavour params)
 
 let build_of_patterns params patterns =
@@ -456,6 +458,8 @@ let cell_forall m v p =
   go m.cell_off.(v)
 
 let cell m v = Array.sub m.cell_ids m.cell_off.(v) (cell_length m v)
+
+let prepare_index m = ignore (Lazy.force m.by_key : (int, int list) Hashtbl.t)
 
 let find_run m ~config ~pattern =
   match Hashtbl.find_opt (Lazy.force m.by_key) (run_key config pattern) with

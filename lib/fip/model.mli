@@ -58,6 +58,7 @@ val build :
   ?flavour:Universe.flavour ->
   ?configs:Config.t list ->
   ?builder:builder ->
+  ?jobs:int ->
   Params.t ->
   t
 (** Enumerates every (configuration, pattern) pair and simulates the
@@ -65,7 +66,12 @@ val build :
     configurations — restricting it changes the system runs are drawn from
     and hence what is known; it exists for ablation experiments only.
     [builder] overrides the {!set_builder} default for this call; either
-    choice produces a bit-identical model. *)
+    choice produces a bit-identical model.  [jobs] overrides the ambient
+    {!Eba_util.Parallel.jobs} count for this build only (a per-call
+    argument, safe under concurrent builders, unlike the process-global
+    {!Eba_util.Parallel.set_jobs}); any positive count yields the same
+    bits — it only picks the sequential or sharded shared builder and the
+    sharding width. *)
 
 val build_of_patterns : Params.t -> Pattern.t list -> t
 (** As {!build} with an explicit pattern list (all [2^n] configurations).
@@ -112,6 +118,12 @@ val find_run : t -> config:Config.t -> pattern:Pattern.t -> run option
     contains it (used to relate operational executions to semantic runs).
     Backed by a lazily built hash index, so repeated lookups cost O(bucket)
     rather than a scan of all runs. *)
+
+val prepare_index : t -> unit
+(** Force {!find_run}'s lazy index now.  A built model is immutable
+    {e except} this suspension — forcing it in the owning domain makes
+    the whole model safe to share across domains (the model cache does
+    this before publishing an entry). *)
 
 val iter_points : t -> (int -> unit) -> unit
 val pp_stats : Format.formatter -> t -> unit

@@ -8,7 +8,7 @@ let case ~n ~t ~latency ~loss () =
   let sync = Net.Sync.default_for topology in
   Prob.Report.make ~n ~t ~rounds:(t + 1)
     ~loss:(Prob.Q.of_decimal_string loss)
-    ~latency ~sync
+    ~latency ~sync ()
 
 let small = case ~n:4 ~t:1 ~latency:(Net.Link.Const 1.0) ~loss:"0.25"
 let n64 = case ~n:64 ~t:8 ~latency:(Net.Link.Uniform (0.2, 1.0)) ~loss:"0.05"

@@ -718,13 +718,14 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
     mutable sa_eng : engine option;
   }
 
-  let sweep_state ?jobs (params : Params.t) ~sync ~topology ~dynamic
-      ~rng_of_run ~live ~runs =
+  let sweep_state ?jobs ?cancel ?progress (params : Params.t) ~sync ~topology
+      ~dynamic ~rng_of_run ~live ~runs =
     if live < 1 then invalid_arg "Mux.sweep_state: live must be >= 1";
     let plan = Inject.Dynamic dynamic in
     let waves = (runs + live - 1) / live in
     let init () = { sa_st = Net_stats.fresh_state (); sa_eng = None } in
     let fold acc wave =
+      Eba_util.Cancel.check_opt cancel;
       let eng =
         match acc.sa_eng with
         | Some e -> e
@@ -736,7 +737,8 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
       let first = wave * live in
       let count = min live (runs - first) in
       run_wave eng ~rng_of_run ~first ~count ~consume:(fun _ o ->
-          Net_stats.consume acc.sa_st o)
+          Net_stats.consume acc.sa_st o);
+      match progress with None -> () | Some f -> f count
     in
     let merge a b = Net_stats.merge a.sa_st b.sa_st in
     let acc =

@@ -73,6 +73,8 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) : sig
 
   val sweep_state :
     ?jobs:int ->
+    ?cancel:Eba_util.Cancel.t ->
+    ?progress:(int -> unit) ->
     Params.t ->
     sync:Sync.t ->
     topology:Topology.t ->
@@ -85,5 +87,11 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) : sig
       {!Net_stats.state} — the mux counterpart of {!Netsim.sweep}'s
       accumulation loop (the caller renders the summary, keeping identity
       strings in one place).  Waves are distributed over [jobs] with one
-      engine per worker; the result is independent of [jobs]. *)
+      engine per worker; the result is independent of [jobs].
+
+      [cancel] is polled once per wave: a fired token raises
+      {!Eba_util.Cancel.Cancelled} out of the sweep within one wave per
+      worker.  [progress] is called after each completed wave with the
+      number of runs that wave finished (possibly from several domains
+      concurrently — callers aggregate with an atomic). *)
 end

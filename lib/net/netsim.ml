@@ -280,20 +280,31 @@ module Make (P : Eba_protocols.Protocol_intf.PROTOCOL) = struct
     run_one params ~sync ~topology ~plan:(Inject.Replay pattern) ~rng config
 end
 
-let sweep ?jobs ?mux (module P : Eba_protocols.Protocol_intf.PROTOCOL)
-    (params : Params.t) ~sync ~topology ~dynamic ~seed ~runs =
+let sweep ?jobs ?mux ?cancel ?progress
+    (module P : Eba_protocols.Protocol_intf.PROTOCOL) (params : Params.t)
+    ~sync ~topology ~dynamic ~seed ~runs =
   let module E = Make (P) in
   E.check params ~sync ~topology;
   let n = params.Params.n in
   let rng_of_run run = run_seed ~seed ~run in
+  (* one shared counter across domains: [done] counts completed runs,
+     whatever their scheduling order *)
+  let completed = Atomic.make 0 in
+  let tick count =
+    let d = Atomic.fetch_and_add completed count + count in
+    match progress with
+    | None -> ()
+    | Some f -> f ~done_:d ~total:runs
+  in
   let st =
     match mux with
     | Some live ->
         let module M = Mux.Make (P) in
-        M.sweep_state ?jobs params ~sync ~topology ~dynamic ~rng_of_run ~live
-          ~runs
+        M.sweep_state ?jobs ?cancel ?progress:(Option.map (fun _ -> tick) progress)
+          params ~sync ~topology ~dynamic ~rng_of_run ~live ~runs
     | None ->
         let consume st run =
+          Eba_util.Cancel.check_opt cancel;
           let rng = rng_of_run run in
           let config =
             Config.make
@@ -304,7 +315,8 @@ let sweep ?jobs ?mux (module P : Eba_protocols.Protocol_intf.PROTOCOL)
             E.run_prepared params ~sync ~topology
               ~plan:(Inject.Dynamic dynamic) ~rng config
           in
-          Net_stats.consume st outcome
+          Net_stats.consume st outcome;
+          tick 1
         in
         Parallel.map_reduce_seq ?jobs ~init:Net_stats.fresh_state
           ~fold:consume ~merge:Net_stats.merge

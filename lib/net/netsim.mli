@@ -54,6 +54,8 @@ end
 val sweep :
   ?jobs:int ->
   ?mux:int ->
+  ?cancel:Eba_util.Cancel.t ->
+  ?progress:(done_:int -> total:int -> unit) ->
   (module Eba_protocols.Protocol_intf.PROTOCOL) ->
   Params.t ->
   sync:Sync.t ->
@@ -71,4 +73,13 @@ val sweep :
     [mux] routes the sweep through the multiplexed engine ({!Mux}) with
     that many concurrently live instances per wave.  The summary is
     bit-identical to the sequential path — same seeds, same outcomes,
-    same counters — the engines differ only in wall-clock. *)
+    same counters — the engines differ only in wall-clock.
+
+    [cancel] is a cooperative token polled at per-run (sequential path)
+    or per-wave (mux path) boundaries: once fired, the sweep raises
+    {!Eba_util.Cancel.Cancelled} within one such boundary per domain.
+    [progress] is called after each completed run (or wave) with the
+    cumulative count of finished runs and the total; calls may arrive
+    from worker domains concurrently and [done_] is not guaranteed
+    monotone across racing calls — throttle and order on the consumer
+    side.  Both default off and cost nothing when absent. *)

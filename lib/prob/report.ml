@@ -23,14 +23,21 @@ type t = {
 
 let sig_figs = 9
 
-let make ~n ~t ~rounds ~loss ~latency ~sync =
+let make ?cancel ~n ~t ~rounds ~loss ~latency ~sync () =
   if n < 2 then invalid_arg "Prob.Report.make: n must be >= 2";
   if t < 0 then invalid_arg "Prob.Report.make: t must be >= 0";
   if rounds < 1 then invalid_arg "Prob.Report.make: rounds must be >= 1";
+  let check () = Eba_util.Cancel.check_opt cancel in
   let spec = Round_chain.spec ~sync ~latency ~loss in
   let m = n * (n - 1) in
   let mr = m * rounds in
   let q = Round_chain.per_message_miss spec in
+  check ();
+  let window_clean = Round_chain.window_clean spec ~m in
+  check ();
+  let run_all_delivered = Q.pow (Q.one_minus q) mr in
+  check ();
+  let landing = Round_chain.landing ~sig_figs ?cancel spec ~m in
   {
     n;
     t_faults = t;
@@ -43,9 +50,9 @@ let make ~n ~t ~rounds ~loss ~latency ~sync =
     messages_per_run = mr;
     per_message_miss = q;
     expected_misses_per_run = Q.mul (Q.of_int mr) q;
-    window_clean = Round_chain.window_clean spec ~m;
-    run_all_delivered = Q.pow (Q.one_minus q) mr;
-    landing = Round_chain.landing ~sig_figs spec ~m;
+    window_clean;
+    run_all_delivered;
+    landing;
     decision_time_ns =
       Q.mul
         (Q.of_int (rounds * 1_000_000_000))

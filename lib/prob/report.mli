@@ -35,15 +35,19 @@ type t = {
 }
 
 val make :
+  ?cancel:Eba_util.Cancel.t ->
   n:int ->
   t:int ->
   rounds:int ->
   loss:Q.t ->
   latency:Eba_net.Link.latency ->
   sync:Eba_net.Sync.t ->
+  unit ->
   t
 (** Raises [Invalid_argument] on [n < 2], [t < 0], [rounds < 1] or a loss
-    outside [[0, 1)]. *)
+    outside [[0, 1)].  [cancel] is polled between the report's major
+    exact computations and before each {!Round_chain.landing} row; a
+    fired token raises {!Eba_util.Cancel.Cancelled}. *)
 
 val sig_figs : int
 (** Significant digits of every decimal rendering in the report (9). *)

@@ -65,10 +65,14 @@ type landing = {
   residual_decimal : string;
 }
 
-let landing ?sig_figs spec ~m =
+let landing ?sig_figs ?cancel spec ~m =
   if m < 1 then invalid_arg "Round_chain.landing: m must be >= 1";
   let all_by_attempt =
-    Array.init (spec.attempts + 1) (fun k -> all_by spec ~m ~k)
+    Array.init
+      (spec.attempts + 1)
+      (fun k ->
+        Eba_util.Cancel.check_opt cancel;
+        all_by spec ~m ~k)
   in
   let exactly_decimal =
     Array.init spec.attempts (fun i ->

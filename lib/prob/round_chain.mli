@@ -68,12 +68,13 @@ type landing = {
       (** decimal of [1 - window_clean]: some copy misses the window *)
 }
 
-val landing : ?sig_figs:int -> spec -> m:int -> landing
+val landing : ?sig_figs:int -> ?cancel:Eba_util.Cancel.t -> spec -> m:int -> landing
 (** Distribution of the attempt on which the window's last copy lands.
     The [exactly]/[residual] masses are differences of huge same-scale
     powers, so they are rendered via {!Q.decimal_of_ratio} over a common
     power denominator instead of materializing normalized rationals.
-    Requires [m >= 1]. *)
+    Requires [m >= 1].  [cancel] is polled before each chain row
+    (attempt); a fired token raises {!Eba_util.Cancel.Cancelled}. *)
 
 val chain : spec -> m:int -> Q.t array array
 (** [chain spec ~m] is the exact distribution of the undelivered-message

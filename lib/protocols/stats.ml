@@ -197,22 +197,31 @@ let summary_of_state ?(source = Enumerated) name st =
 
 let universe_desc (params : Params.t) = Format.asprintf "%a" Params.pp params
 
-let over_seq ?jobs ?source (module P : Protocol_intf.PROTOCOL) (params : Params.t)
-    workload =
+let over_seq ?jobs ?cancel ?source (module P : Protocol_intf.PROTOCOL)
+    (params : Params.t) workload =
   let module R = Runner.Make (P) in
   let run config pattern = R.run params config pattern in
+  let fold =
+    let consume = consume run params.Params.n in
+    match cancel with
+    | None -> consume
+    | Some token ->
+        fun st work ->
+          Eba_util.Cancel.check token;
+          consume st work
+  in
   let st =
     Metrics.time s_sweep (fun () ->
-        Parallel.map_reduce_seq ?jobs ~init:fresh_state
-          ~fold:(consume run params.Params.n)
+        Parallel.map_reduce_seq ?jobs ~init:fresh_state ~fold
           ~merge:merge_state workload)
   in
   summary_of_state ?source P.name st
 
-let over ?jobs ?source p params workload =
-  over_seq ?jobs ?source p params (List.to_seq workload)
+let over ?jobs ?cancel ?source p params workload =
+  over_seq ?jobs ?cancel ?source p params (List.to_seq workload)
 
-let exhaustive ?(flavour = Universe.Exhaustive) ?jobs p (params : Params.t) =
+let exhaustive ?(flavour = Universe.Exhaustive) ?jobs ?cancel p
+    (params : Params.t) =
   let source =
     Exhaustive_universe
       {
@@ -221,9 +230,9 @@ let exhaustive ?(flavour = Universe.Exhaustive) ?jobs p (params : Params.t) =
         universe = universe_desc params;
       }
   in
-  over_seq ?jobs ~source p params (Universe.workload_seq ~flavour params)
+  over_seq ?jobs ?cancel ~source p params (Universe.workload_seq ~flavour params)
 
-let sampled ?jobs p (params : Params.t) ~seed ~samples =
+let sampled ?jobs ?cancel p (params : Params.t) ~seed ~samples =
   let rng = Random.State.make [| seed |] in
   (* drawn sequentially so the workload is deterministic in [seed]; only the
      runs themselves are distributed over domains *)
@@ -239,7 +248,7 @@ let sampled ?jobs p (params : Params.t) ~seed ~samples =
     Sampled_universe
       { seed; samples; universe = universe_desc params ^ " uniform(config×pattern)" }
   in
-  over ?jobs ~source p params workload
+  over ?jobs ?cancel ~source p params workload
 
 let pp_by_failures fmt b =
   Format.fprintf fmt "f=%d: %d runs, mean %.2f, max %d%s" b.failures b.count b.mean_time

@@ -55,6 +55,7 @@ val run_one :
 
 val over_seq :
   ?jobs:int ->
+  ?cancel:Eba_util.Cancel.t ->
   ?source:source ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
@@ -65,10 +66,15 @@ val over_seq :
     how the count is resolved), each domain folds into a private integer
     accumulator, and accumulators are merged in a fixed order — so the
     summary is bit-identical for every job count, and the workload sequence
-    is never materialized. *)
+    is never materialized.
+
+    [cancel] is polled before each workload pair: once fired, the sweep
+    raises {!Eba_util.Cancel.Cancelled} within one run per domain.  An
+    un-fired token changes nothing — same summary, same metrics. *)
 
 val over :
   ?jobs:int ->
+  ?cancel:Eba_util.Cancel.t ->
   ?source:source ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
@@ -79,6 +85,7 @@ val over :
 val exhaustive :
   ?flavour:Eba_sim.Universe.flavour ->
   ?jobs:int ->
+  ?cancel:Eba_util.Cancel.t ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   summary
@@ -87,6 +94,7 @@ val exhaustive :
 
 val sampled :
   ?jobs:int ->
+  ?cancel:Eba_util.Cancel.t ->
   (module Protocol_intf.PROTOCOL) ->
   Params.t ->
   seed:int ->

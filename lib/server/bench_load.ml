@@ -5,9 +5,11 @@ type result = {
   clients : int;
   workers : int;
   requests : int;
+  requests_per_client : int;
   ok : int;
   busy : int;
   errors : int;
+  latency_samples : int;
   elapsed_s : float;
   mean_us : float;
   p50_us : float;
@@ -19,14 +21,21 @@ type client_tally = {
   mutable t_ok : int;
   mutable t_busy : int;
   mutable t_errors : int;
-  latencies_ns : int64 array;  (* one slot per attempted request *)
+  mutable t_samples : int;  (* completed round-trips: latencies_ns.(0 .. t_samples-1) are real *)
+  latencies_ns : int64 array;
 }
 
 let now_ns () = Monotonic_clock.now ()
 
 let client_loop ~address ~requests ~verb ~params =
   let tally =
-    { t_ok = 0; t_busy = 0; t_errors = 0; latencies_ns = Array.make requests 0L }
+    {
+      t_ok = 0;
+      t_busy = 0;
+      t_errors = 0;
+      t_samples = 0;
+      latencies_ns = Array.make requests 0L;
+    }
   in
   (match Client.connect address with
   | exception Unix.Unix_error _ -> tally.t_errors <- requests
@@ -35,19 +44,30 @@ let client_loop ~address ~requests ~verb ~params =
         ~finally:(fun () -> Client.close c)
         (fun () ->
           let broken = ref false in
-          for i = 0 to requests - 1 do
+          for _ = 0 to requests - 1 do
             if !broken then tally.t_errors <- tally.t_errors + 1
             else begin
               let t0 = now_ns () in
-              (match Client.call c ~verb ~params () with
-              | Ok (_, Protocol.Ok_result _) -> tally.t_ok <- tally.t_ok + 1
-              | Ok (_, Protocol.Busy_reply _) -> tally.t_busy <- tally.t_busy + 1
-              | Ok (_, Protocol.Error_reply _) | Error _ ->
-                  tally.t_errors <- tally.t_errors + 1
+              match Client.call c ~verb ~params () with
+              | reply ->
+                  (* a reply of any status is a completed round-trip, so
+                     its wall time is a real latency sample; requests that
+                     never completed (connection broken, never sent) must
+                     not contribute fabricated zeros *)
+                  tally.latencies_ns.(tally.t_samples) <-
+                    Int64.sub (now_ns ()) t0;
+                  tally.t_samples <- tally.t_samples + 1;
+                  (match reply with
+                  | Ok (_, Protocol.Ok_result _) -> tally.t_ok <- tally.t_ok + 1
+                  | Ok (_, Protocol.Busy_reply _) ->
+                      tally.t_busy <- tally.t_busy + 1
+                  | Ok (_, (Protocol.Cancelled_reply | Protocol.Progress_frame _))
+                  | Ok (_, Protocol.Error_reply _)
+                  | Error _ ->
+                      tally.t_errors <- tally.t_errors + 1)
               | exception Unix.Unix_error _ ->
                   broken := true;
-                  tally.t_errors <- tally.t_errors + 1);
-              tally.latencies_ns.(i) <- Int64.sub (now_ns ()) t0
+                  tally.t_errors <- tally.t_errors + 1
             end
           done));
   tally
@@ -72,23 +92,30 @@ let run ~address ~clients ~requests ~verb ~params =
   let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
   let busy = Array.fold_left (fun a t -> a + t.t_busy) 0 tallies in
   let errors = Array.fold_left (fun a t -> a + t.t_errors) 0 tallies in
+  (* only completed round-trips enter the latency statistics *)
   let latencies =
-    Array.concat (Array.to_list (Array.map (fun t -> t.latencies_ns) tallies))
+    Array.concat
+      (Array.to_list
+         (Array.map (fun t -> Array.sub t.latencies_ns 0 t.t_samples) tallies))
   in
   Array.sort Int64.compare latencies;
   let total = clients * requests in
+  let samples = Array.length latencies in
   let sum = Array.fold_left Int64.add 0L latencies in
   let mean_us =
-    if total = 0 then 0.0 else Int64.to_float sum /. 1e3 /. float_of_int total
+    if samples = 0 then 0.0
+    else Int64.to_float sum /. 1e3 /. float_of_int samples
   in
   {
     verb;
     clients;
     workers = 0;  (* filled in by the callers that know the daemon config *)
     requests = total;
+    requests_per_client = requests;
     ok;
     busy;
     errors;
+    latency_samples = samples;
     elapsed_s;
     mean_us;
     p50_us = percentile latencies 0.50;
@@ -147,9 +174,11 @@ let result_json r =
       ("clients", Json.Int r.clients);
       ("workers", Json.Int r.workers);
       ("requests", Json.Int r.requests);
+      ("requests_per_client", Json.Int r.requests_per_client);
       ("ok", Json.Int r.ok);
       ("busy", Json.Int r.busy);
       ("errors", Json.Int r.errors);
+      ("latency_samples", Json.Int r.latency_samples);
       ("elapsed_s", Json.Float r.elapsed_s);
       ("mean_us", Json.Float r.mean_us);
       ("p50_us", Json.Float r.p50_us);
@@ -161,7 +190,8 @@ let pp fmt r =
   Format.fprintf fmt
     "@[<v>serve %s: %d clients x %d requests, %d workers@,\
      ok %d  busy %d  errors %d@,\
-     latency mean %.1fus  p50 %.1fus  p99 %.1fus@,\
+     latency mean %.1fus  p50 %.1fus  p99 %.1fus (%d samples)@,\
      %.0f requests/sec (%.3fs wall)@]"
-    r.verb r.clients (r.requests / max 1 r.clients) r.workers r.ok r.busy
-    r.errors r.mean_us r.p50_us r.p99_us r.requests_per_sec r.elapsed_s
+    r.verb r.clients r.requests_per_client r.workers r.ok r.busy
+    r.errors r.mean_us r.p50_us r.p99_us r.latency_samples r.requests_per_sec
+    r.elapsed_s

@@ -14,9 +14,19 @@ type result = {
   clients : int;
   workers : int;
   requests : int;  (** total across all clients *)
+  requests_per_client : int;
+      (** the per-client count as given — carried, not re-derived by
+          division, so [pp] prints the truth even for uneven totals *)
   ok : int;
   busy : int;  (** typed backpressure replies *)
   errors : int;  (** transport failures and error replies *)
+  latency_samples : int;
+      (** completed round-trips — the population of the latency stats.
+          Requests that never completed (connect failure, broken
+          connection, skipped after a break) are counted in [errors] but
+          contribute {e no} latency sample; when this is [0] the
+          mean/p50/p99 are reported as [0.0] over zero samples, never
+          fabricated from empty slots *)
   elapsed_s : float;
   mean_us : float;
   p50_us : float;

@@ -36,3 +36,19 @@ let call c ?id ~verb ?params () =
   match recv_json c with
   | Error _ as e -> e
   | Ok json -> Protocol.reply_of_json json
+
+let call_stream c ?id ?(on_progress = fun ~done_:_ ~total:_ -> ()) ~verb
+    ?params () =
+  send c (Protocol.request ?id ~progress:true ~verb ?params ());
+  let rec await () =
+    match recv_json c with
+    | Error _ as e -> e
+    | Ok json -> (
+        match Protocol.reply_of_json json with
+        | Error _ as e -> e
+        | Ok (_, Protocol.Progress_frame { p_done; p_total }) ->
+            on_progress ~done_:p_done ~total:p_total;
+            await ()
+        | Ok _ as final -> final)
+  in
+  await ()

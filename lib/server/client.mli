@@ -40,3 +40,19 @@ val raw_call :
   unit ->
   (string, string) result
 (** Like {!call} but returns the reply frame's payload verbatim. *)
+
+val call_stream :
+  t ->
+  ?id:Json.t ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  verb:string ->
+  ?params:(string * Json.t) list ->
+  unit ->
+  (Json.t * Protocol.reply, string) result
+(** Like {!call} but opts into streaming: the request carries
+    [progress: true], every interim progress frame is folded into
+    [on_progress] (cumulative completed runs over the total; values are
+    non-decreasing), and the first non-progress reply — the final
+    result, error, or [cancelled] — is returned.  With the default
+    [on_progress] the frames are silently discarded, making this a
+    drop-in [call] for verbs that stream. *)

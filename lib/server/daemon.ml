@@ -30,6 +30,15 @@ type conn = {
   mutable alive : bool;
 }
 
+(* What workers hand back to the loop.  [c_key = Some k] marks the
+   final reply of tracked request [k] (the loop forgets its token);
+   progress frames and untracked replies carry [None]. *)
+type completion = {
+  c_conn : int;
+  c_key : (int * string) option;
+  c_json : Json.t;
+}
+
 type state = {
   cfg : config;
   mutable listen_fd : Unix.file_descr option;
@@ -39,8 +48,12 @@ type state = {
   mutable pool : Pool.t option;
   (* completions cross domains: workers push under the lock and nudge the
      self-pipe; only the loop thread pops and touches sockets *)
-  completions : (int * Json.t) Queue.t;
+  completions : completion Queue.t;
   completions_lock : Mutex.t;
+  (* (connection, id bytes) -> cancellation token for every tracked
+     request accepted and not yet finally replied to.  Loop thread only;
+     workers reach the tokens through their job records. *)
+  inflight : (int * string, Eba_util.Cancel.t) Hashtbl.t;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   stop : bool Atomic.t;  (* set by signal handlers / the shutdown verb *)
@@ -49,8 +62,9 @@ type state = {
 
 let requests_counter = Metrics.counter "serve.requests"
 let busy_counter = Metrics.counter "serve.busy"
+let cancelled_counter = Metrics.counter ~deterministic:false "serve.cancelled"
 
-let all_verbs = Registry.verbs @ [ "status"; "shutdown" ]
+let all_verbs = Registry.verbs @ [ "cancel"; "status"; "shutdown" ]
 
 (* --- replies (every socket write goes through here, on the loop thread) --- *)
 
@@ -59,7 +73,20 @@ let close_conn st conn =
     conn.alive <- false;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   end;
-  Hashtbl.remove st.conns conn.cid
+  Hashtbl.remove st.conns conn.cid;
+  (* nobody is left to read the replies: fire the connection's tokens so
+     its in-flight work stops at the next run boundary *)
+  let stale =
+    Hashtbl.fold
+      (fun key token acc ->
+        if fst key = conn.cid then (key, token) :: acc else acc)
+      st.inflight []
+  in
+  List.iter
+    (fun (key, token) ->
+      Eba_util.Cancel.cancel token;
+      Hashtbl.remove st.inflight key)
+    stale
 
 (* Connection sockets are non-blocking: a write takes whatever the kernel
    will buffer and the rest waits in [conn.out] for select writability,
@@ -103,9 +130,9 @@ let send st conn json =
 
 (* --- completion channel (worker side is [push_completion]) --- *)
 
-let push_completion st ~conn reply =
+let push_completion st comp =
   Mutex.lock st.completions_lock;
-  Queue.push (conn, reply) st.completions;
+  Queue.push comp st.completions;
   Mutex.unlock st.completions_lock;
   (* one nudge byte; the pipe buffer far exceeds any worker count, so
      this never blocks a worker *)
@@ -120,11 +147,53 @@ let drain_completions st =
     List.rev xs
   in
   List.iter
-    (fun (cid, reply) ->
-      match Hashtbl.find_opt st.conns cid with
-      | Some conn -> send st conn reply
+    (fun comp ->
+      (* a final reply (result, error or cancelled) retires the
+         request's tracking entry whether or not the peer survived to
+         read it *)
+      Option.iter (Hashtbl.remove st.inflight) comp.c_key;
+      match Hashtbl.find_opt st.conns comp.c_conn with
+      | Some conn -> send st conn comp.c_json
       | None -> ())
     pending
+
+(* --- progress frames --- *)
+
+let progress_interval_ns = 50_000_000L
+
+(* One emitter per opted-in request, called from whatever engine domains
+   the sweep fans out to, hence the lock.  Emitted [done] values are
+   strictly increasing and pushed in order (the push happens under the
+   lock), so the client sees non-decreasing progress; the interval gate
+   keeps a fast sweep from flooding the wire — except the first frame,
+   which always fires so short sweeps still demonstrate liveness. *)
+let progress_emitter st ~conn ~id =
+  let lock = Mutex.create () in
+  let last_ns = ref Int64.min_int in
+  let last_done = ref 0 in
+  fun ~done_ ~total ->
+    if done_ > !last_done then begin
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          let now = Monotonic_clock.now () in
+          if
+            done_ > !last_done
+            && (!last_ns = Int64.min_int
+               || Int64.compare (Int64.sub now !last_ns) progress_interval_ns
+                  >= 0)
+          then begin
+            last_ns := now;
+            last_done := done_;
+            push_completion st
+              {
+                c_conn = conn;
+                c_key = None;
+                c_json = Protocol.progress ~id ~done_ ~total;
+              }
+          end)
+    end
 
 (* --- dispatch --- *)
 
@@ -142,11 +211,74 @@ let status_result st =
       ("draining", Json.Bool st.draining);
     ]
 
+(* [cancel] is an admin verb: it steers loop-owned state (the queue and
+   the in-flight table), so it answers inline and is never queued — a
+   saturated queue cannot delay the cancellation of what saturated it.
+   Scope is the requesting connection: ids are client-chosen, so
+   [(cid, id)] is the only well-defined key. *)
+let dispatch_cancel st conn ~id params =
+  let target =
+    match params with
+    | Json.Obj fields -> List.assoc_opt "target" fields
+    | _ -> None
+  in
+  let bad_keys =
+    match params with
+    | Json.Obj fields -> List.exists (fun (k, _) -> k <> "target") fields
+    | _ -> false
+  in
+  if bad_keys then
+    send st conn
+      (Protocol.error ~id Protocol.Bad_request
+         "cancel takes exactly one param: \"target\"")
+  else
+    match target with
+    | None | Some Json.Null ->
+        send st conn
+          (Protocol.error ~id Protocol.Bad_request
+             "cancel requires a non-null \"target\" param (the id of the \
+              request to cancel)")
+    | Some target ->
+        let key = (conn.cid, Json.to_string target) in
+        (* fast path: still queued — yank it and answer the original
+           request right now, no worker involved *)
+        let removed =
+          Req_queue.remove st.queue (fun (j : Pool.job) ->
+              j.Pool.job_key = Some key)
+        in
+        let state =
+          if removed <> [] then begin
+            Hashtbl.remove st.inflight key;
+            List.iter
+              (fun (j : Pool.job) ->
+                Eba_util.Cancel.cancel j.Pool.job_cancel)
+              removed;
+            "queued"
+          end
+          else
+            match Hashtbl.find_opt st.inflight key with
+            | Some token ->
+                (* running: fire the token; the worker notices at the
+                   next run/row boundary and completes with the typed
+                   [cancelled] reply *)
+                Eba_util.Cancel.cancel token;
+                "running"
+            | None -> "unknown"
+        in
+        if state <> "unknown" then Metrics.incr cancelled_counter;
+        send st conn
+          (Protocol.ok ~id
+             (Json.Obj [ ("target", target); ("state", Json.String state) ]));
+        (* the yanked requests' own typed replies, after the cancel's ok
+           so the wire order matches the running case *)
+        List.iter (fun (j : Pool.job) -> send st conn (j.Pool.cancelled ())) removed
+
 let dispatch st conn (req : Protocol.request) =
   Metrics.incr requests_counter;
   let id = req.Protocol.req_id in
   match req.Protocol.verb with
   | "status" -> send st conn (Protocol.ok ~id (status_result st))
+  | "cancel" -> dispatch_cancel st conn ~id req.Protocol.params
   | "shutdown" ->
       send st conn (Protocol.ok ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
       Atomic.set st.stop true
@@ -165,14 +297,31 @@ let dispatch st conn (req : Protocol.request) =
         | Error (`Bad_request msg) ->
             send st conn (Protocol.error ~id Protocol.Bad_request msg)
         | Ok thunk ->
+            (* only a non-null id can be named by a later [cancel]; a
+               null-id request runs untracked, exactly as before *)
+            let key =
+              match id with
+              | Json.Null -> None
+              | _ -> Some (conn.cid, Json.to_string id)
+            in
+            let cancel = Eba_util.Cancel.create () in
+            let progress =
+              if req.Protocol.want_progress then
+                Some (progress_emitter st ~conn:conn.cid ~id)
+              else None
+            in
+            let ctx = { Registry.cancel; progress } in
             let job =
               {
                 Pool.job_conn = conn.cid;
+                job_key = key;
+                job_cancel = cancel;
                 response =
                   (fun () ->
-                    match thunk () with
+                    match thunk ctx with
                     | Ok result -> Protocol.ok ~id result
                     | Error msg -> Protocol.error ~id Protocol.Bad_request msg);
+                cancelled = (fun () -> Protocol.cancelled ~id);
                 abort =
                   (fun () ->
                     Protocol.error ~id Protocol.Shutting_down
@@ -180,7 +329,10 @@ let dispatch st conn (req : Protocol.request) =
               }
             in
             (match Req_queue.try_push st.queue job with
-            | `Ok -> ()
+            | `Ok ->
+                Option.iter
+                  (fun k -> Hashtbl.replace st.inflight k cancel)
+                  key
             | `Full depth ->
                 Metrics.incr busy_counter;
                 send st conn
@@ -299,7 +451,12 @@ let drain st =
   let leftovers = Req_queue.close st.queue in
   List.iter
     (fun (job : Pool.job) ->
-      push_completion st ~conn:job.Pool.job_conn (job.Pool.abort ()))
+      push_completion st
+        {
+          c_conn = job.Pool.job_conn;
+          c_key = job.Pool.job_key;
+          c_json = job.Pool.abort ();
+        })
     leftovers;
   (* in-flight jobs finish; their completions can't block because the
      pipe write is tiny and we drain everything right after the join *)
@@ -409,6 +566,7 @@ let run ?on_ready cfg =
       pool = None;
       completions = Queue.create ();
       completions_lock = Mutex.create ();
+      inflight = Hashtbl.create 16;
       pipe_r;
       pipe_w;
       stop = Atomic.make false;
@@ -425,7 +583,13 @@ let run ?on_ready cfg =
           st.pool <-
             Some
               (Pool.create ~workers:cfg.workers ~queue
-                 ~complete:(fun ~conn reply -> push_completion st ~conn reply));
+                 ~complete:(fun ~job reply ->
+                   push_completion st
+                     {
+                       c_conn = job.Pool.job_conn;
+                       c_key = job.Pool.job_key;
+                       c_json = reply;
+                     }));
           Option.iter (fun f -> f (Frame.bound_address listen_fd cfg.address))
             on_ready;
           Fun.protect

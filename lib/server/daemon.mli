@@ -22,6 +22,32 @@
     connection.  Every socket write happens on the loop thread, so
     frames never interleave.
 
+    {2 Cancellation, progress, and the model cache}
+
+    Every compute request with a non-null [id] is tracked (keyed by
+    connection and id) from the moment it is queued until its final
+    reply drains.  The [cancel] verb ([params.target] = the id to
+    cancel, same connection only) answers inline with what it caught:
+    ["queued"] (the job was yanked from the queue — its [cancelled]
+    reply follows immediately), ["running"] (the job's cooperative
+    {!Eba_util.Cancel} token was fired; the worker polls it at
+    run/wave/pattern/chain-row boundaries and stops within one unit),
+    or ["unknown"].  The cancel's ok-ack is always written before the
+    cancelled request's terminal [{"status":"cancelled"}] reply, and a
+    connection close fires the tokens of all its in-flight requests.
+
+    A request carrying ["progress": true] additionally receives
+    rate-limited monotone progress frames
+    ([{"status":"progress","done":k,"total":K}]) through the same
+    completion channel before its final reply; clients that do not opt
+    in observe exactly the one-reply-per-request protocol.
+
+    [knowledge-query] jobs share {!Registry.model_cache}, a promise
+    LRU over bounded models keyed by the {!Eba_sim.Params.t} identity:
+    concurrent queries for one identity wait on a single build, warm
+    replies are byte-identical to cold ones, and hit/miss counts are
+    deterministic functions of the request multiset.
+
     {2 Misbehaving peers}
 
     The loop must outlive any client, so nothing a peer does may block

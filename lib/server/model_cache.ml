@@ -1,0 +1,156 @@
+module Params = Eba_sim.Params
+module Model = Eba_fip.Model
+module Metrics = Eba_util.Metrics
+
+(* serve.* like the daemon's other counters; deterministic because the
+   promise protocol makes hit/miss counts a pure function of the request
+   multiset, not of worker interleaving *)
+let m_hits = Metrics.counter "serve.model_cache.hits"
+let m_misses = Metrics.counter "serve.model_cache.misses"
+let m_evictions = Metrics.counter ~deterministic:false "serve.model_cache.evictions"
+
+type slot = Building | Ready of Model.t
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  ready : Condition.t;  (* signalled when a Building slot resolves *)
+  table : (Params.t, slot) Hashtbl.t;
+  mutable recency : Params.t list;  (* Ready keys, most recent first *)
+  (* own atomics rather than Metrics so tests see exact counts without
+     flipping the process-wide metrics switch *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(capacity = 8) () =
+  if capacity < 1 then invalid_arg "Model_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    lock = Mutex.create ();
+    ready = Condition.create ();
+    table = Hashtbl.create 16;
+    recency = [];
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let capacity c = c.capacity
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let touch c key =
+  c.recency <- key :: List.filter (fun k -> not (k = key)) c.recency
+
+(* Evict least-recently-used Ready entries until the table fits the
+   capacity again.  Building slots are never evicted — their builder will
+   publish and the next overflow reclaims them in recency order. *)
+let evict_over_capacity c =
+  while Hashtbl.length c.table > c.capacity && c.recency <> [] do
+    let victim = List.hd (List.rev c.recency) in
+    c.recency <- List.filter (fun k -> not (k = victim)) c.recency;
+    Hashtbl.remove c.table victim;
+    Metrics.incr m_evictions
+  done
+
+let record_hit c =
+  Atomic.incr c.hits;
+  Metrics.incr m_hits
+
+let record_miss c =
+  Atomic.incr c.misses;
+  Metrics.incr m_misses
+
+let find_or_build c key build =
+  Mutex.lock c.lock;
+  let rec await () =
+    match Hashtbl.find_opt c.table key with
+    | Some (Ready m) ->
+        touch c key;
+        record_hit c;
+        Mutex.unlock c.lock;
+        m
+    | Some Building ->
+        (* a sibling worker owns the build; any number of waiters share
+           its one result — "build at most once per key" is the protocol,
+           not a race outcome *)
+        Condition.wait c.ready c.lock;
+        await ()
+    | None ->
+        Hashtbl.replace c.table key Building;
+        record_miss c;
+        Mutex.unlock c.lock;
+        let m =
+          match build key with
+          | m -> m
+          | exception e ->
+              (* failed builds must not wedge the waiters on a Building
+                 slot that will never resolve *)
+              Mutex.lock c.lock;
+              Hashtbl.remove c.table key;
+              Condition.broadcast c.ready;
+              Mutex.unlock c.lock;
+              raise e
+        in
+        (* the one domain-unsafe part of a model is its lazy run index;
+           force it before other domains can reach the entry *)
+        Model.prepare_index m;
+        Mutex.lock c.lock;
+        Hashtbl.replace c.table key (Ready m);
+        touch c key;
+        evict_over_capacity c;
+        Condition.broadcast c.ready;
+        Mutex.unlock c.lock;
+        m
+  in
+  await ()
+
+let find c key =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.table key with
+      | Some (Ready m) ->
+          touch c key;
+          record_hit c;
+          Some m
+      | Some Building | None -> None)
+
+let length c =
+  locked c (fun () ->
+      Hashtbl.fold (fun _ s n -> match s with Ready _ -> n + 1 | Building -> n)
+        c.table 0)
+
+let mem c key =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.table key with
+      | Some (Ready _) -> true
+      | Some Building | None -> false)
+
+let clear c =
+  locked c (fun () ->
+      (* leave Building slots alone: their owner still holds the promise
+         and will publish into the cleared table *)
+      let building =
+        Hashtbl.fold
+          (fun k s acc -> match s with Building -> k :: acc | Ready _ -> acc)
+          c.table []
+      in
+      Hashtbl.reset c.table;
+      List.iter (fun k -> Hashtbl.replace c.table k Building) building;
+      c.recency <- [];
+      Atomic.set c.hits 0;
+      Atomic.set c.misses 0)
+
+type stats = { s_hits : int; s_misses : int; s_entries : int }
+
+let stats c =
+  locked c (fun () ->
+      {
+        s_hits = Atomic.get c.hits;
+        s_misses = Atomic.get c.misses;
+        s_entries =
+          Hashtbl.fold
+            (fun _ s n -> match s with Ready _ -> n + 1 | Building -> n)
+            c.table 0;
+      })

@@ -1,0 +1,71 @@
+(** The daemon's hot knowledge-model cache.
+
+    Building the bounded run/view model ({!Eba_fip.Model.build}) dwarfs
+    every query against it, and repeat [knowledge-query] requests against
+    the same universe — the common case for optimality checks — were
+    rebuilding it per request.  This is a size-bounded, mutex-guarded LRU
+    keyed by the full parameter record [(n, t, horizon, mode)], shared by
+    the whole worker pool.
+
+    Concurrency protocol (promise per key): the first worker to miss a
+    key installs a [Building] slot, releases the lock, builds, and
+    publishes; workers racing the same key block on a condition until the
+    slot resolves, then share the one model.  So concurrent identical
+    requests build {e at most once} (twice only if a build fails and a
+    waiter retries), entries are never torn, and the hit/miss counts are
+    a pure function of the request multiset — deterministic at every
+    worker count:  K distinct keys over R requests is exactly K misses
+    and [R - K] hits while nothing is evicted.
+
+    A cached model is immutable ({!Eba_fip.Model.prepare_index} is forced
+    before publication), so sharing across domains is sound, and a warm
+    reply is byte-identical to a cold one by construction — the tests pin
+    this anyway.
+
+    Counters: [serve.model_cache.hits] / [serve.model_cache.misses]
+    (deterministic, in {!Eba_util.Metrics}) mirror the cache-local
+    {!stats}, which tests read without enabling process-wide metrics;
+    [serve.model_cache.evictions] is scheduling-dependent only in the
+    degenerate always-building overflow case and recorded
+    non-deterministic out of caution. *)
+
+module Params = Eba_sim.Params
+module Model = Eba_fip.Model
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty cache holding at most [capacity] (default 8) built models.
+    Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val find_or_build : t -> Params.t -> (Params.t -> Model.t) -> Model.t
+(** [find_or_build c key build] returns the cached model for [key],
+    waiting out a concurrent build of the same key if one is in flight,
+    or builds and publishes it ([build] runs {e outside} the cache lock).
+    Counts one hit (entry existed — ready or building) or one miss (this
+    call ran [build]).  If [build] raises, the exception propagates, the
+    slot is released, and one waiter (if any) retries the build. *)
+
+val find : t -> Params.t -> Model.t option
+(** Non-blocking lookup: [Some] (counted as a hit, refreshes recency)
+    only for a fully built entry. *)
+
+val mem : t -> Params.t -> bool
+(** Is a {e built} entry present?  No recency refresh, no counter. *)
+
+val length : t -> int
+(** Built entries resident (excludes in-flight builds). *)
+
+val clear : t -> unit
+(** Drop every built entry and zero the {!stats} counters (the
+    process-wide {!Eba_util.Metrics} counters are not touched — those
+    reset with {!Eba_util.Metrics.reset} like every other counter).
+    In-flight builds survive and still publish. *)
+
+type stats = { s_hits : int; s_misses : int; s_entries : int }
+
+val stats : t -> stats
+(** Exact counts since creation or {!clear}, readable whether or not
+    process metrics are enabled. *)

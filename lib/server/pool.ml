@@ -2,7 +2,10 @@ module Json = Eba_util.Json
 
 type job = {
   job_conn : int;
+  job_key : (int * string) option;
+  job_cancel : Eba_util.Cancel.t;
   response : unit -> Json.t;
+  cancelled : unit -> Json.t;
   abort : unit -> Json.t;
 }
 
@@ -18,12 +21,17 @@ let worker_span = Eba_util.Metrics.span "serve.request"
 let run_job pool ~complete job =
   Atomic.incr pool.in_flight;
   let reply =
-    match Eba_util.Metrics.time worker_span job.response with
-    | json -> json
-    | exception e ->
-        Protocol.error ~id:Json.Null Protocol.Internal (Printexc.to_string e)
+    (* a token fired while the job sat in the queue (racing past the
+       loop's instant-cancel sweep): skip the compute entirely *)
+    if Eba_util.Cancel.cancelled job.job_cancel then job.cancelled ()
+    else
+      match Eba_util.Metrics.time worker_span job.response with
+      | json -> json
+      | exception Eba_util.Cancel.Cancelled -> job.cancelled ()
+      | exception e ->
+          Protocol.error ~id:Json.Null Protocol.Internal (Printexc.to_string e)
   in
-  complete ~conn:job.job_conn reply;
+  complete ~job reply;
   Atomic.incr pool.served;
   Atomic.decr pool.in_flight
 

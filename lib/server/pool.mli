@@ -4,18 +4,34 @@
     Which worker runs a job never changes the bytes of its reply — a
     job's [response] thunk is a pure function of the request (every
     engine underneath is bit-deterministic), and completed replies are
-    routed back through [complete] tagged with the connection they
-    belong to, so scheduling only permutes {e which} reply finishes
-    first, never its content.  Clients match pipelined replies by
-    [id]. *)
+    routed back through [complete] tagged with the job they belong to,
+    so scheduling only permutes {e which} reply finishes first, never
+    its content.  Clients match pipelined replies by [id].
+
+    Cancellation: each job carries its request's cooperative token.  A
+    worker checks it once before starting (a token fired while the job
+    was queued skips the compute entirely) and the engines underneath
+    poll it at run/row boundaries, surfacing
+    {!Eba_util.Cancel.Cancelled} out of [response]; either way the job
+    completes with its typed [cancelled] reply instead of a result. *)
 
 module Json = Eba_util.Json
 
 type job = {
   job_conn : int;  (** the daemon's token for the requesting connection *)
+  job_key : (int * string) option;
+      (** the daemon's cancellation-tracking key [(conn, id bytes)];
+          [None] for untracked (null-id) requests *)
+  job_cancel : Eba_util.Cancel.t;
+      (** the request's cooperative cancellation token, shared with the
+          daemon's in-flight table *)
   response : unit -> Json.t;
       (** runs in a worker; must be total (the daemon wraps handler
-          calls), but a raise still yields a typed [internal] reply *)
+          calls), but a raise still yields a typed [internal] reply —
+          except {!Eba_util.Cancel.Cancelled}, which yields
+          [cancelled ()] *)
+  cancelled : unit -> Json.t;
+      (** the typed [cancelled] reply for this request *)
   abort : unit -> Json.t;
       (** the reply for a job the drain threw out of the queue before
           any worker started it ([shutting-down]) *)
@@ -26,7 +42,7 @@ type t
 val create :
   workers:int ->
   queue:job Req_queue.t ->
-  complete:(conn:int -> Json.t -> unit) ->
+  complete:(job:job -> Json.t -> unit) ->
   t
 (** Spawns [workers] domains ([workers >= 0]).  [complete] is called
     from worker domains — it must be thread-safe (the daemon's is: a
@@ -34,7 +50,8 @@ val create :
 
     [workers = 0] is accept-only mode: jobs queue up but nothing drains
     them.  It exists so tests can fill the queue to its cap
-    deterministically and observe the [busy] backpressure reply. *)
+    deterministically and observe the [busy] backpressure reply (and
+    the instant cancellation of queued requests). *)
 
 val workers : t -> int
 
@@ -42,7 +59,8 @@ val in_flight : t -> int
 (** Jobs popped by a worker and not yet completed. *)
 
 val served : t -> int
-(** Jobs completed since the pool started. *)
+(** Jobs completed since the pool started (cancelled jobs count: their
+    [cancelled] reply is a completion like any other). *)
 
 val join : t -> unit
 (** Wait for every worker to exit.  Only returns promptly after the

@@ -17,7 +17,12 @@ let code_of_string = function
   | "internal" -> Some Internal
   | _ -> None
 
-type request = { req_id : Json.t; verb : string; params : Json.t }
+type request = {
+  req_id : Json.t;
+  verb : string;
+  params : Json.t;
+  want_progress : bool;
+}
 
 let mem j key =
   match j with Json.Obj fields -> List.assoc_opt key fields | _ -> None
@@ -26,18 +31,28 @@ let request_of_json j =
   match j with
   | Json.Obj _ -> (
       let req_id = Option.value (mem j "id") ~default:Json.Null in
-      match mem j "verb" with
-      | Some (Json.String verb) -> (
-          match mem j "params" with
-          | None -> Ok { req_id; verb; params = Json.Obj [] }
-          | Some (Json.Obj _ as params) -> Ok { req_id; verb; params }
-          | Some _ -> Error "\"params\" must be an object")
-      | Some _ -> Error "\"verb\" must be a string"
-      | None -> Error "missing \"verb\"")
+      match mem j "progress" with
+      | Some (Json.Bool _) | None -> (
+          let want_progress =
+            match mem j "progress" with Some (Json.Bool b) -> b | _ -> false
+          in
+          match mem j "verb" with
+          | Some (Json.String verb) -> (
+              match mem j "params" with
+              | None -> Ok { req_id; verb; params = Json.Obj []; want_progress }
+              | Some (Json.Obj _ as params) ->
+                  Ok { req_id; verb; params; want_progress }
+              | Some _ -> Error "\"params\" must be an object")
+          | Some _ -> Error "\"verb\" must be a string"
+          | None -> Error "missing \"verb\"")
+      | Some _ -> Error "\"progress\" must be a boolean")
   | _ -> Error "request frame must be a JSON object"
 
-let request ?(id = Json.Null) ~verb ?(params = []) () =
-  Json.Obj [ ("id", id); ("verb", Json.String verb); ("params", Json.Obj params) ]
+let request ?(id = Json.Null) ?(progress = false) ~verb ?(params = []) () =
+  Json.Obj
+    (("id", id) :: ("verb", Json.String verb)
+    :: ("params", Json.Obj params)
+    :: (if progress then [ ("progress", Json.Bool true) ] else []))
 
 let ok ~id result =
   Json.Obj [ ("id", id); ("status", Json.String "ok"); ("result", result) ]
@@ -74,10 +89,23 @@ let error ~id code message =
           ] );
     ]
 
+let cancelled ~id = Json.Obj [ ("id", id); ("status", Json.String "cancelled") ]
+
+let progress ~id ~done_ ~total =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "progress");
+      ("done", Json.Int done_);
+      ("total", Json.Int total);
+    ]
+
 type reply =
   | Ok_result of Json.t
   | Busy_reply of { depth : int; cap : int }
   | Error_reply of { code : error_code; message : string }
+  | Cancelled_reply
+  | Progress_frame of { p_done : int; p_total : int }
 
 let reply_of_json j =
   let id = Option.value (mem j "id") ~default:Json.Null in
@@ -86,6 +114,12 @@ let reply_of_json j =
       match mem j "result" with
       | Some r -> Ok (id, Ok_result r)
       | None -> Error "ok response without \"result\"")
+  | Some (Json.String "cancelled") -> Ok (id, Cancelled_reply)
+  | Some (Json.String "progress") -> (
+      match (mem j "done", mem j "total") with
+      | Some (Json.Int p_done), Some (Json.Int p_total) ->
+          Ok (id, Progress_frame { p_done; p_total })
+      | _ -> Error "progress frame without integer \"done\"/\"total\"")
   | Some (Json.String ("busy" | "error" as status)) -> (
       match mem j "error" with
       | Some e -> (

@@ -6,12 +6,28 @@ let ( let* ) = Result.bind
 
 let verbs = [ "netsim-sweep"; "probcheck"; "knowledge-query" ]
 
+type ctx = {
+  cancel : Eba_util.Cancel.t;
+  progress : (done_:int -> total:int -> unit) option;
+}
+
+let no_ctx = { cancel = Eba_util.Cancel.create (); progress = None }
+
+(* One cache for the whole process: every worker domain of every daemon
+   instance shares it, which is the point — repeat queries against the
+   same universe reuse one built model. *)
+let model_cache = Model_cache.create ~capacity:8 ()
+
 (* --- netsim-sweep --- *)
 
 let netsim params =
   let* spec = Spec.of_json params in
   let* resolved = Spec.resolve spec in
-  Ok (fun () -> Ok (Eba_net.Net_stats.summary_json (Spec.run resolved)))
+  Ok
+    (fun ctx ->
+      Ok
+        (Eba_net.Net_stats.summary_json
+           (Spec.run ~cancel:ctx.cancel ?progress:ctx.progress resolved)))
 
 (* --- probcheck --- *)
 
@@ -21,8 +37,9 @@ let probcheck params =
      runs in the worker; its validation failures come back as the
      thunk's [Error]. *)
   Ok
-    (fun () ->
-      Result.map Eba_prob.Report.to_json (Spec.Probcheck.report spec))
+    (fun ctx ->
+      Result.map Eba_prob.Report.to_json
+        (Spec.Probcheck.report ~cancel:ctx.cancel spec))
 
 (* --- knowledge-query --- *)
 
@@ -101,9 +118,16 @@ let knowledge params =
                (String.concat ", " kb_protocol_names))
       in
       Ok
-        (fun () ->
+        (fun ctx ->
           trying (fun () ->
-              let model = Eba_fip.Model.build model_params in
+              Eba_util.Cancel.check ctx.cancel;
+              (* the hot path: repeat queries against the same universe
+                 reuse the built model; [jobs] (previously parsed and
+                 dropped) now reaches the builder on a cold miss *)
+              let model =
+                Model_cache.find_or_build model_cache model_params
+                  (fun p -> Eba_fip.Model.build ?jobs p)
+              in
               let env = Eba_epistemic.Formula.env model in
               let pair = pair_of_name env name in
               let d = Eba_core.Kb_protocol.decide model pair in
@@ -134,10 +158,11 @@ let knowledge params =
       in
       let* protocol = trying (fun () -> select model_params) in
       Ok
-        (fun () ->
+        (fun ctx ->
           trying (fun () ->
               let summary =
-                Eba_protocols.Stats.exhaustive ?jobs protocol model_params
+                Eba_protocols.Stats.exhaustive ?jobs ~cancel:ctx.cancel
+                  protocol model_params
               in
               Json.Obj
                 (identity name

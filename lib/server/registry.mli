@@ -18,16 +18,35 @@ module Json = Eba_util.Json
 val verbs : string list
 (** The compute verbs: [netsim-sweep], [probcheck], [knowledge-query]. *)
 
+(** What the daemon threads into a running thunk: the request's
+    cancellation token (polled by the engines at run/row boundaries; a
+    fired token surfaces as {!Eba_util.Cancel.Cancelled} out of the
+    thunk) and, when the request opted in, a progress sink the sweep
+    calls with cumulative completed-run counts. *)
+type ctx = {
+  cancel : Eba_util.Cancel.t;
+  progress : (done_:int -> total:int -> unit) option;
+}
+
+val no_ctx : ctx
+(** A fresh never-cancelled token and no progress sink — for callers
+    (tests, ad-hoc tools) that just want the thunk's result. *)
+
+val model_cache : Model_cache.t
+(** The process-wide knowledge-model cache every [knowledge-query]
+    [spec] thunk goes through (capacity 8). *)
+
 val prepare :
   verb:string ->
   params:Json.t ->
-  ( unit -> (Json.t, string) result,
+  ( ctx -> (Json.t, string) result,
     [ `Unknown_verb | `Bad_request of string ] )
   result
 (** [Ok thunk]: params decoded (and, where cheap, resolved); running
-    [thunk ()] in any domain yields the verb's result JSON.  A thunk
+    [thunk ctx] in any domain yields the verb's result JSON.  A thunk
     [Error] is a validation failure only detectable at execution time
     (e.g. probcheck's exact analysis rejecting its timing parameters) —
-    the daemon renders it as a [bad-request] reply.  Thunks never
-    raise by contract; the pool still guards with a typed [internal]
-    reply. *)
+    the daemon renders it as a [bad-request] reply.  Thunks raise only
+    {!Eba_util.Cancel.Cancelled} by contract (the pool renders it as the
+    typed [cancelled] reply, and still guards everything else with a
+    typed [internal] reply). *)

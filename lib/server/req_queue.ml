@@ -48,6 +48,16 @@ let pop q =
       in
       wait ())
 
+let remove q pred =
+  locked q (fun () ->
+      let kept = Queue.create () and removed = ref [] in
+      Queue.iter
+        (fun x -> if pred x then removed := x :: !removed else Queue.push x kept)
+        q.items;
+      Queue.clear q.items;
+      Queue.transfer kept q.items;
+      List.rev !removed)
+
 let close q =
   locked q (fun () ->
       q.closed <- true;

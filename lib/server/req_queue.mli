@@ -24,6 +24,12 @@ val pop : 'a t -> 'a option
 (** Blocks; [None] once the queue is closed {e and} drained — the
     consumer's signal to exit. *)
 
+val remove : 'a t -> ('a -> bool) -> 'a list
+(** Atomically extract every queued item matching the predicate (in push
+    order), preserving the relative order of the rest.  The cancellation
+    fast path: a queued-but-unstarted request leaves the queue without a
+    worker ever seeing it. *)
+
 val close : 'a t -> 'a list
 (** Refuse further pushes, wake all blocked consumers, and hand back the
     items nobody popped (in push order) so the caller can answer them

@@ -159,10 +159,10 @@ let resolve spec =
   Ok { r_spec = spec; r_protocol; r_params; r_topology; r_sync; r_dynamic;
        r_runs; r_mux }
 
-let run r =
-  Net.Netsim.sweep ?jobs:r.r_spec.jobs ?mux:r.r_mux r.r_protocol r.r_params
-    ~sync:r.r_sync ~topology:r.r_topology ~dynamic:r.r_dynamic
-    ~seed:r.r_spec.seed ~runs:r.r_runs
+let run ?cancel ?progress r =
+  Net.Netsim.sweep ?jobs:r.r_spec.jobs ?mux:r.r_mux ?cancel ?progress
+    r.r_protocol r.r_params ~sync:r.r_sync ~topology:r.r_topology
+    ~dynamic:r.r_dynamic ~seed:r.r_spec.seed ~runs:r.r_runs
 
 (* --- JSON (de)serialization of the spec --- *)
 
@@ -309,7 +309,7 @@ module Probcheck = struct
       retries = None;
     }
 
-  let report spec =
+  let report ?cancel spec =
     let* loss =
       match Eba_prob.Q.of_decimal_string spec.loss with
       | q -> Ok q
@@ -331,9 +331,9 @@ module Probcheck = struct
             ~max_retries:
               (Option.value spec.retries ~default:dflt.Net.Sync.max_retries)
         in
-        Eba_prob.Report.make ~n:spec.n ~t:spec.t_failures
+        Eba_prob.Report.make ?cancel ~n:spec.n ~t:spec.t_failures
           ~rounds:(Option.value spec.rounds ~default:(spec.t_failures + 1))
-          ~loss ~latency:spec.latency ~sync)
+          ~loss ~latency:spec.latency ~sync ())
 
   let keys =
     [ "n"; "t"; "rounds"; "latency"; "loss"; "rto"; "round_duration"; "retries" ]

@@ -74,9 +74,16 @@ val resolve : t -> (resolved, string) result
 (** Validates everything up front (protocol name, compact availability,
     parameter ranges, sync timing) and freezes the derived defaults. *)
 
-val run : resolved -> Net.Net_stats.summary
+val run :
+  ?cancel:Eba_util.Cancel.t ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  resolved ->
+  Net.Net_stats.summary
 (** {!Eba_net.Netsim.sweep} with the resolved arguments — bit-identical
-    for every job count and mux wave size. *)
+    for every job count and mux wave size.  [cancel] and [progress] pass
+    straight through to the sweep (polled per run or wave); both default
+    off, so CLI and daemon answers stay byte-identical whether or not a
+    caller opts in. *)
 
 val of_json : Json.t -> (t, string) result
 (** Decode a request's ["params"] object; unknown fields are errors
@@ -100,7 +107,12 @@ module Probcheck : sig
   }
 
   val default : t
-  val report : t -> (Eba_prob.Report.t, string) result
+
+  val report :
+    ?cancel:Eba_util.Cancel.t -> t -> (Eba_prob.Report.t, string) result
+  (** The exact Markov analysis ({!Eba_prob.Report.make}); [cancel] is
+      polled between its major steps and per landing row. *)
+
   val of_json : Json.t -> (t, string) result
   val to_params : t -> (string * Json.t) list
 end

@@ -1,0 +1,10 @@
+exception Cancelled
+
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+let check t = if Atomic.get t then raise Cancelled
+
+let check_opt = function None -> () | Some t -> check t

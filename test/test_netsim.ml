@@ -278,7 +278,86 @@ let acceptance_tests =
         check_int "undecided nonfaulty" 0 s.Net.Net_stats.ns_undecided_nonfaulty);
   ]
 
+(* --- cooperative cancellation and progress --- *)
+
+let sweep_cancellable ?cancel ?progress ?mux ~jobs ~runs () =
+  let n = 4 and t = 1 in
+  let params = Eba.Params.make ~n ~t ~horizon:(t + 1) ~mode:Eba.Params.Crash in
+  let topology =
+    Net.Topology.make ~n
+      ~link:(Net.Link.make ~latency:(Net.Link.Const 1.0) ~loss:0.0)
+  in
+  let sync = Net.Sync.default_for topology in
+  Net.Netsim.sweep ~jobs ?mux ?cancel ?progress
+    (module Eba.Floodset)
+    params ~sync ~topology
+    ~dynamic:(Net.Inject.dynamic ~max_faulty:t ())
+    ~seed:11 ~runs
+
+let cancel_tests =
+  [
+    test "a pre-fired token cancels the sweep before any run" (fun () ->
+        List.iter
+          (fun (jobs, mux) ->
+            let cancel = Eba.Cancel.create () in
+            Eba.Cancel.cancel cancel;
+            match sweep_cancellable ~cancel ?mux ~jobs ~runs:50 () with
+            | _ -> Alcotest.fail "cancelled sweep returned a summary"
+            | exception Eba.Cancel.Cancelled -> ())
+          [ (1, None); (4, None); (1, Some 8); (4, Some 8) ]);
+    test "a token fired from mid-sweep progress stops within the sweep"
+      (fun () ->
+        (* fire the token the moment the third run completes: the sweep
+           must raise instead of running all 10_000 remaining runs, which
+           is exactly the per-run poll the daemon's cancel verb relies on *)
+        let cancel = Eba.Cancel.create () in
+        let seen = ref 0 in
+        let progress ~done_ ~total:_ =
+          seen := max !seen done_;
+          if done_ >= 3 then Eba.Cancel.cancel cancel
+        in
+        (match sweep_cancellable ~cancel ~progress ~jobs:1 ~runs:10_000 () with
+        | _ -> Alcotest.fail "cancelled sweep returned a summary"
+        | exception Eba.Cancel.Cancelled -> ());
+        check "stopped promptly" true (!seen < 100));
+    test "progress reports every run exactly once, jobs 1 and 4, mux on \
+          and off"
+      (fun () ->
+        List.iter
+          (fun (jobs, mux) ->
+            let ticks = ref 0 and peak = ref 0 and totals_ok = ref true in
+            let lock = Mutex.create () in
+            let progress ~done_ ~total =
+              Mutex.lock lock;
+              incr ticks;
+              peak := max !peak done_;
+              if total <> 40 then totals_ok := false;
+              Mutex.unlock lock
+            in
+            let runs = 40 in
+            ignore (sweep_cancellable ~progress ?mux ~jobs ~runs ());
+            check "total is always the run count" true !totals_ok;
+            check_int "cumulative done reaches runs" runs !peak;
+            (* non-mux ticks once per run; mux ticks once per completed
+               wave batch, so at most once per run either way *)
+            check "no overcounting" true (!ticks <= runs))
+          [ (1, None); (4, None); (1, Some 8); (4, Some 8) ]);
+    test "a cancelled sweep with progress never reports beyond the stop"
+      (fun () ->
+        let cancel = Eba.Cancel.create () in
+        Eba.Cancel.cancel cancel;
+        let called = ref false in
+        let progress ~done_:_ ~total:_ = called := true in
+        (match
+           sweep_cancellable ~cancel ~progress ~jobs:1 ~runs:50 ()
+         with
+        | _ -> Alcotest.fail "cancelled sweep returned a summary"
+        | exception Eba.Cancel.Cancelled -> ());
+        check "no progress after a pre-fired token" false !called);
+  ]
+
 let tests =
-  eq_tests @ link_tests @ differential_tests @ determinism_tests @ acceptance_tests
+  eq_tests @ link_tests @ differential_tests @ determinism_tests
+  @ acceptance_tests @ cancel_tests
 
 let suite = ("netsim", tests)

@@ -460,7 +460,7 @@ let mc_case ~name ~n ~t ~latency ~loss ~loss_float ~sync ~runs ~seed ~jobs () =
     (lo <= missed && missed <= hi);
   (* decision time: fault-free FloodSet decides at the close of round t+1,
      and the model's exact nanosecond count must match the simulator's. *)
-  let report = Report.make ~n ~t ~rounds ~loss ~latency ~sync in
+  let report = Report.make ~n ~t ~rounds ~loss ~latency ~sync () in
   let per_decision =
     Option.get (B.to_int_opt (Q.num report.Report.decision_time_ns))
   in
@@ -533,7 +533,41 @@ let golden_tests =
              (Report.to_json (Eba_harness.Probcheck_cases.n64 ()))));
   ]
 
+(* --- cooperative cancellation --- *)
+
+let cancel_tests =
+  [
+    test "a pre-fired token cancels Report.make before the analysis"
+      (fun () ->
+        let cancel = Eba.Cancel.create () in
+        Eba.Cancel.cancel cancel;
+        let latency = Eba.Net.Link.Const 1.0 in
+        let sync =
+          Eba.Net.Sync.default_for
+            (Eba.Net.Topology.make ~n:4
+               ~link:(Eba.Net.Link.make ~latency ~loss:0.0))
+        in
+        match
+          Report.make ~cancel ~n:4 ~t:1 ~rounds:2 ~loss:(Q.of_ints 1 20)
+            ~latency ~sync ()
+        with
+        | _ -> Alcotest.fail "cancelled report returned"
+        | exception Eba.Cancel.Cancelled -> ());
+    test "a pre-fired token cancels Round_chain.landing row enumeration"
+      (fun () ->
+        let cancel = Eba.Cancel.create () in
+        Eba.Cancel.cancel cancel;
+        let spec =
+          RC.spec ~sync:boundary_sync
+            ~latency:(Net.Link.Uniform (0.5, 1.5))
+            ~loss:(Q.of_ints 1 2)
+        in
+        match RC.landing ~cancel spec ~m:5 with
+        | _ -> Alcotest.fail "cancelled landing returned"
+        | exception Eba.Cancel.Cancelled -> ());
+  ]
+
 let suite =
   ( "prob",
     bigint_tests @ q_tests @ binomial_tests @ chain_tests @ mc_tests
-    @ golden_tests )
+    @ golden_tests @ cancel_tests )

@@ -170,4 +170,32 @@ let sampled_tests =
           (p0.Stats.messages_attempted < p0opt.Stats.messages_attempted));
   ]
 
-let suite = ("protocols", unit_tests @ universe_tests @ sampled_tests)
+let cancel_tests =
+  [
+    test "a pre-fired token cancels exhaustive and sampled stats" (fun () ->
+        let fired () =
+          let c = Eba.Cancel.create () in
+          Eba.Cancel.cancel c;
+          c
+        in
+        List.iter
+          (fun jobs ->
+            (match
+               Stats.exhaustive ~jobs ~cancel:(fired ())
+                 (module Eba.Floodset)
+                 crash_params
+             with
+            | _ -> Alcotest.fail "cancelled exhaustive returned"
+            | exception Eba.Cancel.Cancelled -> ());
+            match
+              Stats.sampled ~jobs ~cancel:(fired ())
+                (module Eba.Floodset)
+                crash_params ~seed:7 ~samples:50
+            with
+            | _ -> Alcotest.fail "cancelled sampled returned"
+            | exception Eba.Cancel.Cancelled -> ())
+          [ 1; 4 ]);
+  ]
+
+let suite =
+  ("protocols", unit_tests @ universe_tests @ sampled_tests @ cancel_tests)

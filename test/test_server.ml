@@ -99,6 +99,10 @@ let served_result_bytes reply_payload =
       match Protocol.reply_of_json json with
       | Ok (_, Protocol.Ok_result result) -> Json.to_string result
       | Ok (_, Protocol.Busy_reply _) -> Alcotest.fail "unexpected busy reply"
+      | Ok (_, Protocol.Cancelled_reply) ->
+          Alcotest.fail "unexpected cancelled reply"
+      | Ok (_, Protocol.Progress_frame _) ->
+          Alcotest.fail "unexpected progress frame"
       | Ok (_, Protocol.Error_reply { message; _ }) ->
           Alcotest.failf "error reply: %s" message
       | Error m -> Alcotest.failf "bad reply envelope: %s" m)
@@ -561,8 +565,396 @@ let restart_tests =
         serve_once ());
   ]
 
+(* --- cancellation --- *)
+
+(* Big enough that an uncancelled sweep runs for tens of seconds — the
+   test only finishes promptly because the fired token stops the worker
+   at a run boundary. *)
+let huge_sweep_params ~seed =
+  [
+    ("protocol", Json.String "floodset");
+    ("n", Json.Int 4);
+    ("t", Json.Int 1);
+    ("runs", Json.Int 20_000_000);
+    ("seed", Json.Int seed);
+  ]
+
+let wait_in_flight bound ~want =
+  with_client bound (fun admin ->
+      let rec wait tries =
+        if tries > 5000 then Alcotest.fail "request never reached a worker"
+        else
+          match Client.call admin ~verb:"status" () with
+          | Ok (_, Protocol.Ok_result (Json.Obj fields)) ->
+              if List.assoc_opt "in_flight" fields = Some (Json.Int want) then
+                ()
+              else begin
+                Unix.sleepf 0.001;
+                wait (tries + 1)
+              end
+          | _ -> Alcotest.fail "status failed"
+      in
+      wait 0)
+
+let cancel_state fields =
+  match List.assoc_opt "state" fields with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail "cancel reply without a state"
+
+let cancel_mid_sweep ~workers () =
+  with_daemon ~workers (fun bound ->
+      with_client bound (fun c ->
+          Client.send c
+            (Protocol.request ~id:(Json.Int 1) ~verb:"netsim-sweep"
+               ~params:(huge_sweep_params ~seed:1) ());
+          wait_in_flight bound ~want:1;
+          (match
+             Client.call c ~id:(Json.Int 2) ~verb:"cancel"
+               ~params:[ ("target", Json.Int 1) ]
+               ()
+           with
+          | Ok (Json.Int 2, Protocol.Ok_result (Json.Obj fields)) ->
+              check_str "state" "running" (cancel_state fields)
+          | _ -> Alcotest.fail "cancel did not return ok");
+          match Client.recv_json c with
+          | Ok json -> (
+              match Protocol.reply_of_json json with
+              | Ok (Json.Int 1, Protocol.Cancelled_reply) -> ()
+              | _ -> Alcotest.fail "expected a cancelled reply for id 1")
+          | Error m -> Alcotest.fail m))
+
+let cancellation_tests =
+  [
+    test "cancel mid-sweep stops the worker, typed cancelled reply (1 \
+          worker)"
+      (cancel_mid_sweep ~workers:1);
+    test "cancel mid-sweep stops the worker, typed cancelled reply (4 \
+          workers)"
+      (cancel_mid_sweep ~workers:4);
+    test "cancelling a queued request answers it instantly, no worker \
+          involved"
+      (fun () ->
+        (* workers:0 never pops, so the request is provably still queued
+           when the cancel lands — the reply must come from the loop's
+           queue sweep, not from a worker noticing the token *)
+        with_daemon ~workers:0 ~queue_cap:4 (fun bound ->
+            with_client bound (fun c ->
+                Client.send c
+                  (Protocol.request ~id:(Json.Int 1) ~verb:"netsim-sweep"
+                     ~params:(sweep_params ~seed:1) ());
+                (match
+                   Client.call c ~id:(Json.Int 2) ~verb:"cancel"
+                     ~params:[ ("target", Json.Int 1) ]
+                     ()
+                 with
+                | Ok (Json.Int 2, Protocol.Ok_result (Json.Obj fields)) ->
+                    check_str "state" "queued" (cancel_state fields)
+                | _ -> Alcotest.fail "cancel did not return ok");
+                (match Client.recv_json c with
+                | Ok json -> (
+                    match Protocol.reply_of_json json with
+                    | Ok (Json.Int 1, Protocol.Cancelled_reply) -> ()
+                    | _ -> Alcotest.fail "expected cancelled reply for id 1")
+                | Error m -> Alcotest.fail m);
+                (* the slot was really freed: the queue accepts new work *)
+                match Client.call c ~id:(Json.Int 3) ~verb:"status" () with
+                | Ok (_, Protocol.Ok_result (Json.Obj fields)) ->
+                    check "queue empty again" true
+                      (List.assoc_opt "queue_depth" fields = Some (Json.Int 0))
+                | _ -> Alcotest.fail "status failed")));
+    test "cancelling an unknown or finished id reports state unknown"
+      (fun () ->
+        with_daemon (fun bound ->
+            with_client bound (fun c ->
+                match
+                  Client.call c ~id:(Json.Int 1) ~verb:"cancel"
+                    ~params:[ ("target", Json.Int 99) ]
+                    ()
+                with
+                | Ok (Json.Int 1, Protocol.Ok_result (Json.Obj fields)) ->
+                    check_str "state" "unknown" (cancel_state fields)
+                | _ -> Alcotest.fail "cancel did not return ok")));
+    test "cancel without a target is a typed bad-request" (fun () ->
+        with_daemon (fun bound ->
+            with_client bound (fun c ->
+                match Client.call c ~verb:"cancel" () with
+                | Ok (_, Protocol.Error_reply { code = Protocol.Bad_request; _ })
+                  -> ()
+                | _ -> Alcotest.fail "expected bad-request")));
+  ]
+
+(* --- streaming progress --- *)
+
+let progress_tests =
+  [
+    test "call_stream: >=1 progress frame, non-decreasing, final bytes = \
+          CLI bytes"
+      (fun () ->
+        with_daemon ~workers:1 (fun bound ->
+            with_client bound (fun c ->
+                let frames = ref [] in
+                match
+                  Client.call_stream c ~id:(Json.Int 1)
+                    ~on_progress:(fun ~done_ ~total ->
+                      frames := (done_, total) :: !frames)
+                    ~verb:"netsim-sweep"
+                    ~params:(sweep_params ~seed:5)
+                    ()
+                with
+                | Ok (Json.Int 1, Protocol.Ok_result result) ->
+                    let frames = List.rev !frames in
+                    check "at least one frame" true (List.length frames >= 1);
+                    let dones = List.map fst frames in
+                    check "non-decreasing" true
+                      (List.sort compare dones = dones);
+                    List.iter
+                      (fun (d, total) ->
+                        check "total is the run count" true (total = 5);
+                        check "done within total" true (d >= 1 && d <= total))
+                      frames;
+                    check_str "final result bytes"
+                      (cli_netsim_bytes (sweep_spec ~seed:5))
+                      (Json.to_string result)
+                | Ok _ -> Alcotest.fail "expected ok result"
+                | Error m -> Alcotest.fail m)));
+    test "progress is opt-in: a plain call sees exactly one reply frame"
+      (fun () ->
+        with_daemon ~workers:1 (fun bound ->
+            with_client bound (fun c ->
+                (match
+                   Client.call c ~id:(Json.Int 1) ~verb:"netsim-sweep"
+                     ~params:(sweep_params ~seed:5) ()
+                 with
+                | Ok (Json.Int 1, Protocol.Ok_result _) -> ()
+                | _ -> Alcotest.fail "expected ok");
+                (* any stray progress frame would come back as the reply
+                   to this status probe and trip the id check *)
+                match Client.call c ~id:(Json.Int 2) ~verb:"status" () with
+                | Ok (Json.Int 2, Protocol.Ok_result _) -> ()
+                | _ -> Alcotest.fail "unexpected extra frame on the wire")));
+    test "progress envelope flag round-trips; frames parse back" (fun () ->
+        let req =
+          Protocol.request ~id:(Json.Int 3) ~progress:true ~verb:"netsim-sweep"
+            ()
+        in
+        (match Protocol.request_of_json req with
+        | Ok r -> check "want_progress" true r.Protocol.want_progress
+        | Error m -> Alcotest.fail m);
+        (match
+           Protocol.reply_of_json
+             (Protocol.progress ~id:(Json.Int 3) ~done_:7 ~total:9)
+         with
+        | Ok (Json.Int 3, Protocol.Progress_frame { p_done = 7; p_total = 9 })
+          -> ()
+        | _ -> Alcotest.fail "progress frame did not round-trip");
+        match Protocol.reply_of_json (Protocol.cancelled ~id:(Json.Int 3)) with
+        | Ok (Json.Int 3, Protocol.Cancelled_reply) -> ()
+        | _ -> Alcotest.fail "cancelled reply did not round-trip");
+  ]
+
+(* --- the knowledge-model cache --- *)
+
+module Model_cache = Server.Model_cache
+module Registry = Server.Registry
+module Params = Eba.Params
+
+let cache_key ~n ~horizon =
+  Params.make ~n ~t:1 ~horizon ~mode:Params.Crash
+
+let knowledge_params ?jobs () =
+  [
+    ("protocol", Json.String "p0");
+    ("n", Json.Int 4);
+    ("t", Json.Int 1);
+    ("horizon", Json.Int 3);
+  ]
+  @ match jobs with Some j -> [ ("jobs", Json.Int j) ] | None -> []
+
+let raw_knowledge c ?jobs ~id () =
+  match
+    Client.raw_call c ~id:(Json.Int id) ~verb:"knowledge-query"
+      ~params:(knowledge_params ?jobs ()) ()
+  with
+  | Ok payload -> payload
+  | Error m -> Alcotest.fail m
+
+let cache_tests =
+  [
+    test "find_or_build: one build per key, warm lookups share the model"
+      (fun () ->
+        let cache = Model_cache.create ~capacity:4 () in
+        let builds = ref 0 in
+        let build p = incr builds; Eba.Model.build p in
+        let key = cache_key ~n:3 ~horizon:2 in
+        let m1 = Model_cache.find_or_build cache key build in
+        let m2 = Model_cache.find_or_build cache key build in
+        check_int "one build" 1 !builds;
+        check "physically shared" true (m1 == m2);
+        let s = Model_cache.stats cache in
+        check_int "hits" 1 s.Model_cache.s_hits;
+        check_int "misses" 1 s.Model_cache.s_misses;
+        check_int "entries" 1 s.Model_cache.s_entries);
+    test "LRU eviction at capacity drops the least-recent key" (fun () ->
+        let cache = Model_cache.create ~capacity:2 () in
+        let build p = Eba.Model.build p in
+        let a = cache_key ~n:3 ~horizon:1 in
+        let b = cache_key ~n:3 ~horizon:2 in
+        let c = cache_key ~n:4 ~horizon:1 in
+        ignore (Model_cache.find_or_build cache a build);
+        ignore (Model_cache.find_or_build cache b build);
+        (* touch [a] so [b] is now least-recent *)
+        check "a findable" true (Model_cache.find cache a <> None);
+        ignore (Model_cache.find_or_build cache c build);
+        check_int "capacity held" 2 (Model_cache.length cache);
+        check "a survives" true (Model_cache.mem cache a);
+        check "b evicted" false (Model_cache.mem cache b);
+        check "c resident" true (Model_cache.mem cache c));
+    test "workers racing the same key build it exactly once" (fun () ->
+        let cache = Model_cache.create ~capacity:4 () in
+        let builds = Atomic.make 0 in
+        let key = cache_key ~n:4 ~horizon:3 in
+        let build p =
+          Atomic.incr builds;
+          (* widen the race window: every domain reaches find_or_build
+             while the first build is still running *)
+          Unix.sleepf 0.05;
+          Eba.Model.build p
+        in
+        let domains =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () -> Model_cache.find_or_build cache key build))
+        in
+        let models = List.map Domain.join domains in
+        check_int "exactly one build" 1 (Atomic.get builds);
+        (match models with
+        | first :: rest ->
+            List.iter
+              (fun m -> check "all share the one model" true (m == first))
+              rest
+        | [] -> assert false);
+        let s = Model_cache.stats cache in
+        check_int "deterministic misses" 1 s.Model_cache.s_misses;
+        check_int "deterministic hits" 3 s.Model_cache.s_hits);
+    test "a failed build releases the slot instead of wedging waiters"
+      (fun () ->
+        let cache = Model_cache.create ~capacity:4 () in
+        let key = cache_key ~n:3 ~horizon:2 in
+        (match
+           Model_cache.find_or_build cache key (fun _ -> failwith "boom")
+         with
+        | _ -> Alcotest.fail "expected the build failure to propagate"
+        | exception Failure _ -> ());
+        (* the key is buildable again — no stale Building slot *)
+        let m = Model_cache.find_or_build cache key Eba.Model.build in
+        check "recovered" true (Model_cache.mem cache key);
+        ignore m);
+    test "clear drops entries and zeroes the counters" (fun () ->
+        let cache = Model_cache.create ~capacity:4 () in
+        let key = cache_key ~n:3 ~horizon:2 in
+        ignore (Model_cache.find_or_build cache key Eba.Model.build);
+        ignore (Model_cache.find_or_build cache key Eba.Model.build);
+        Model_cache.clear cache;
+        check_int "no entries" 0 (Model_cache.length cache);
+        let s = Model_cache.stats cache in
+        check_int "hits zeroed" 0 s.Model_cache.s_hits;
+        check_int "misses zeroed" 0 s.Model_cache.s_misses);
+  ]
+
+let served_cache_tests =
+  let warm_vs_cold ~workers () =
+    Model_cache.clear Registry.model_cache;
+    with_daemon ~workers (fun bound ->
+        with_client bound (fun c ->
+            let cold = raw_knowledge c ~id:1 () in
+            let warm = raw_knowledge c ~id:2 () in
+            check_str "warm bytes = cold bytes"
+              (served_result_bytes cold)
+              (served_result_bytes warm);
+            (* the warm request skipped Model.build entirely *)
+            let s = Model_cache.stats Registry.model_cache in
+            check_int "one miss (the cold build)" 1 s.Model_cache.s_misses;
+            check_int "one hit (the warm reuse)" 1 s.Model_cache.s_hits))
+  in
+  [
+    test "served warm knowledge-query = cold bytes, build skipped (1 worker)"
+      (warm_vs_cold ~workers:1);
+    test "served warm knowledge-query = cold bytes, build skipped (4 \
+          workers)"
+      (warm_vs_cold ~workers:4);
+    test "served jobs:1 and jobs:4 cold builds are byte-identical" (fun () ->
+        with_daemon ~workers:2 (fun bound ->
+            with_client bound (fun c ->
+                Model_cache.clear Registry.model_cache;
+                let j1 = raw_knowledge c ~jobs:1 ~id:1 () in
+                Model_cache.clear Registry.model_cache;
+                let j4 = raw_knowledge c ~jobs:4 ~id:2 () in
+                (* [clear] zeroed the counters between the two, so the
+                   jobs:4 request must itself have been a cold build *)
+                let s = Model_cache.stats Registry.model_cache in
+                check_int "jobs:4 was a cold build" 1 s.Model_cache.s_misses;
+                check_int "no warm reuse" 0 s.Model_cache.s_hits;
+                check_str "bytes agree" (served_result_bytes j1)
+                  (served_result_bytes j4))));
+    test "4 clients racing one key: deterministic 1 miss / 3 hits at 4 \
+          workers"
+      (fun () ->
+        Model_cache.clear Registry.model_cache;
+        with_daemon ~workers:4 (fun bound ->
+            let client () =
+              with_client bound (fun c ->
+                  served_result_bytes (raw_knowledge c ~id:1 ()))
+            in
+            let domains = List.init 4 (fun _ -> Domain.spawn client) in
+            let replies = List.map Domain.join domains in
+            (match replies with
+            | first :: rest ->
+                List.iter (fun r -> check_str "same bytes" first r) rest
+            | [] -> assert false);
+            let s = Model_cache.stats Registry.model_cache in
+            check_int "misses" 1 s.Model_cache.s_misses;
+            check_int "hits" 3 s.Model_cache.s_hits));
+  ]
+
+(* --- the load generator's latency accounting --- *)
+
+module Bench_load = Server.Bench_load
+
+let bench_tests =
+  [
+    test "bench load: failed requests contribute no latency samples"
+      (fun () ->
+        (* nothing listens here, so every connect fails: all requests are
+           errors and the latency population must be empty — not a pile
+           of fabricated zeros dragging the percentiles down *)
+        let address = Frame.Unix_socket (temp_socket_path ()) in
+        let r =
+          Bench_load.run ~address ~clients:2 ~requests:5 ~verb:"status"
+            ~params:[]
+        in
+        check_int "all errors" 10 r.Bench_load.errors;
+        check_int "no ok" 0 r.Bench_load.ok;
+        check_int "no samples" 0 r.Bench_load.latency_samples;
+        check_int "requests" 10 r.Bench_load.requests;
+        check_int "requests_per_client" 5 r.Bench_load.requests_per_client;
+        let pp = Format.asprintf "%a" Bench_load.pp r in
+        check "pp shows per-client requests" true
+          (contains pp "2 clients x 5 requests");
+        check "pp shows the sample count" true (contains pp "(0 samples)"));
+    test "bench load against a live daemon: every sample is a completed \
+          round-trip"
+      (fun () ->
+        let r =
+          Bench_load.run_local ~workers:2 ~clients:2 ~requests:10
+            ~verb:"status" ~params:[] ()
+        in
+        check_int "all ok" 20 r.Bench_load.ok;
+        check_int "samples = completions" 20 r.Bench_load.latency_samples;
+        check "positive mean" true (r.Bench_load.mean_us > 0.0));
+  ]
+
 let suite =
   ( "server",
     frame_tests @ queue_tests @ spec_tests @ differential_tests
-    @ concurrency_tests @ backpressure_tests @ robustness_tests
-    @ restart_tests )
+    @ concurrency_tests @ backpressure_tests @ cancellation_tests
+    @ progress_tests @ cache_tests @ served_cache_tests @ bench_tests
+    @ robustness_tests @ restart_tests )
